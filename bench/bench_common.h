@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared helpers for the experiment (figure/table) binaries.
+ *
+ * Every binary accepts an optional scale argument and the
+ * JSMT_SCALE environment variable (tests and CI use small scales;
+ * 1.0 reproduces the paper-scale runs).
+ */
+
+#ifndef JSMT_BENCH_BENCH_COMMON_H
+#define JSMT_BENCH_BENCH_COMMON_H
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/log.h"
+#include "harness/experiments.h"
+#include "harness/table.h"
+
+namespace jsmt {
+
+/** Build the experiment config from argv/env. */
+inline ExperimentConfig
+benchConfig(int argc, char** argv, double default_scale = 1.0)
+{
+    setVerbose(std::getenv("JSMT_VERBOSE") != nullptr);
+    ExperimentConfig config;
+    config.lengthScale = default_scale;
+    if (const char* env = std::getenv("JSMT_SCALE"))
+        config.lengthScale = std::atof(env);
+    if (argc > 1)
+        config.lengthScale = std::atof(argv[1]);
+    if (config.lengthScale <= 0.0)
+        fatal("scale must be positive");
+    if (const char* env = std::getenv("JSMT_PAIR_RUNS"))
+        config.pairMinRuns = static_cast<std::size_t>(
+            std::atoi(env));
+    return config;
+}
+
+/** Standard banner naming the reproduced table/figure. */
+inline void
+banner(const std::string& what, const ExperimentConfig& config)
+{
+    std::cout
+        << "=================================================\n"
+        << what << '\n'
+        << "Huang, Lin, Zhang, Chang: \"Performance\n"
+        << "Characterization of Java Applications on SMT\n"
+        << "Processors\", ISPASS 2005 (simulated reproduction)\n"
+        << "scale=" << config.lengthScale << '\n'
+        << "=================================================\n\n";
+}
+
+/**
+ * Shared body of Figures 3-6 (misses per 1000 instructions of one
+ * structure, HT off vs on, multithreaded benchmarks at 2 threads).
+ */
+inline int
+runMissFigure(int argc, char** argv, const std::string& title,
+              EventId miss_event, const std::string& paper_note)
+{
+    ExperimentConfig config = benchConfig(argc, argv);
+    banner(title, config);
+    const auto rows = runMultithreadedSweep(config, {2});
+    TextTable table({"benchmark", "HT-off /1K instr",
+                     "HT-on /1K instr", "ratio"});
+    for (const auto& row : rows) {
+        const double off = row.htOff.perKiloInstr(miss_event);
+        const double on = row.htOn.perKiloInstr(miss_event);
+        table.addRow({row.benchmark, TextTable::fmt(off, 3),
+                      TextTable::fmt(on, 3),
+                      TextTable::fmt(off > 0 ? on / off : 0.0, 2)});
+    }
+    table.print(std::cout);
+    std::cout << '\n' << paper_note << '\n';
+    return 0;
+}
+
+} // namespace jsmt
+
+#endif // JSMT_BENCH_BENCH_COMMON_H

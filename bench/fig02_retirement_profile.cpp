@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 2: instruction retirement profile — the fraction of cycles
+ * in which the machine retires 0, 1, 2 or 3 µops, with HT disabled
+ * and enabled.
+ *
+ * Paper shape: with HT off the machine retires nothing on ~60% of
+ * cycles; enabling HT grows the 1- and 2-µop buckets substantially
+ * (smoother execution) while the 3-µop bucket changes little.
+ */
+
+#include "bench/bench_common.h"
+#include "harness/table.h"
+
+namespace {
+
+double
+pct(const jsmt::RunResult& result, jsmt::EventId bucket)
+{
+    const auto cycles = result.total(jsmt::EventId::kCycles);
+    if (cycles == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(result.total(bucket)) /
+           static_cast<double>(cycles);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace jsmt;
+    ExperimentConfig config = benchConfig(argc, argv);
+    banner("Figure 2: instruction retirement profile", config);
+
+    const auto rows = runMultithreadedSweep(config, {2});
+
+    TextTable table({"benchmark", "mode", "0 uops %", "1 uop %",
+                     "2 uops %", "3 uops %"});
+    double avg1_off = 0, avg1_on = 0, avg2_off = 0, avg2_on = 0;
+    for (const auto& row : rows) {
+        table.addRow({row.benchmark, "HT-off",
+                      TextTable::fmt(pct(row.htOff, EventId::kRetire0), 1),
+                      TextTable::fmt(pct(row.htOff, EventId::kRetire1), 1),
+                      TextTable::fmt(pct(row.htOff, EventId::kRetire2), 1),
+                      TextTable::fmt(pct(row.htOff, EventId::kRetire3), 1)});
+        table.addRow({row.benchmark, "HT-on",
+                      TextTable::fmt(pct(row.htOn, EventId::kRetire0), 1),
+                      TextTable::fmt(pct(row.htOn, EventId::kRetire1), 1),
+                      TextTable::fmt(pct(row.htOn, EventId::kRetire2), 1),
+                      TextTable::fmt(pct(row.htOn, EventId::kRetire3), 1)});
+        avg1_off += pct(row.htOff, EventId::kRetire1);
+        avg1_on += pct(row.htOn, EventId::kRetire1);
+        avg2_off += pct(row.htOff, EventId::kRetire2);
+        avg2_on += pct(row.htOn, EventId::kRetire2);
+    }
+    table.print(std::cout);
+
+    const double n = static_cast<double>(rows.size());
+    std::cout << "\nAverage 1-uop bucket: "
+              << TextTable::fmt(avg1_off / n, 1) << "% -> "
+              << TextTable::fmt(avg1_on / n, 1) << "%\n"
+              << "Average 2-uop bucket: "
+              << TextTable::fmt(avg2_off / n, 1) << "% -> "
+              << TextTable::fmt(avg2_on / n, 1) << "%\n"
+              << "\nPaper shape: with HT off the machine retires "
+                 "nothing on ~60% of\ncycles; HT shrinks the "
+                 "zero-retire share substantially. (The paper\n"
+                 "reports the recovered cycles landing in the 1- "
+                 "and 2-uop buckets;\nthis model's lockstep 3-wide "
+                 "flow lands them mostly in the 3-uop\nbucket — "
+                 "see EXPERIMENTS.md.)\n";
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 9: combined-speedup "colour map" — the full 9x9 matrix of
+ * pairings, rendered as a text heat map. Each cell is the combined
+ * speedup of the row benchmark when sharing the processor with the
+ * column benchmark.
+ *
+ * Paper shape: good reflective symmetry (C_AB ~ C_BA, because Linux
+ * shares time fairly); 9 of 81 cells show slowdowns (C < 1), all of
+ * them combinations of the three SPECjvm98 "bad partners" jack,
+ * javac and jess, whose large trace-cache appetites thrash the
+ * shared front end.
+ */
+
+#include <cmath>
+
+#include "bench/bench_common.h"
+#include "harness/table.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace jsmt;
+    ExperimentConfig config = benchConfig(argc, argv, 0.5);
+    banner("Figure 9: combined speedup color map", config);
+
+    const PairMatrix matrix = runPairMatrix(config);
+    const std::size_t n = matrix.names.size();
+
+    std::vector<std::string> headers = {"row \\ col"};
+    for (const auto& name : matrix.names)
+        headers.push_back(name.substr(0, 6));
+    TextTable table(headers);
+    std::size_t slowdowns = 0;
+    double max_asymmetry = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<std::string> row = {matrix.names[i]};
+        for (std::size_t j = 0; j < n; ++j) {
+            const double c = matrix.at(i, j).combinedSpeedup;
+            if (c < 1.0)
+                ++slowdowns;
+            max_asymmetry = std::max(
+                max_asymmetry,
+                std::abs(c - matrix.at(j, i).combinedSpeedup));
+            // Mark slowdown cells like the paper's dashed box.
+            row.push_back(TextTable::fmt(c) +
+                          (c < 1.0 ? "*" : ""));
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+    std::cout << "\n* = slowdown (C < 1).  Slowdown cells: "
+              << slowdowns << " of " << n * n
+              << " (paper: 9, all among jack/javac/jess)\n"
+              << "Max |C_AB - C_BA| asymmetry: "
+              << TextTable::fmt(max_asymmetry, 3)
+              << " (paper: good reflective symmetry)\n";
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 10: impact of Hyper-Threading on single-threaded Java
+ * programs — execution time with HT enabled relative to disabled.
+ *
+ * Paper shape: 7 of 9 programs get *slower* with HT on (0.15%-62%)
+ * even though they are alone on the machine, because the Pentium 4
+ * statically partitions the ROB, the load/store buffers and the
+ * ITLB between logical processors and does not recombine them.
+ */
+
+#include "bench/bench_common.h"
+#include "harness/table.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace jsmt;
+    ExperimentConfig config = benchConfig(argc, argv);
+    banner("Figure 10: HT impact on single-threaded Java programs",
+           config);
+
+    const auto rows = runSingleThreadImpact(config);
+    TextTable table({"benchmark", "HT-off cycles", "HT-on cycles",
+                     "time increase %"});
+    std::size_t slower = 0;
+    double worst = 0.0;
+    for (const auto& row : rows) {
+        if (row.increasePct > 0.0)
+            ++slower;
+        worst = std::max(worst, row.increasePct);
+        table.addRow(
+            {row.benchmark,
+             TextTable::fmt(static_cast<std::uint64_t>(
+                 row.cyclesHtOff)),
+             TextTable::fmt(static_cast<std::uint64_t>(
+                 row.cyclesHtOn)),
+             TextTable::fmt(row.increasePct)});
+    }
+    table.print(std::cout);
+    std::cout << '\n' << slower
+              << " of 9 programs slower with HT on (paper: 7 of 9, "
+                 "0.15%-62%);\nworst slowdown here: "
+              << TextTable::fmt(worst) << "%\n";
+    return 0;
+}

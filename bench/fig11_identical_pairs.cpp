@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Figure 11: impact of Hyper-Threading on multiprogrammed
+ * workloads — two identical copies of each single-threaded program
+ * run simultaneously; the combined speedup is reported.
+ *
+ * Paper shape: SMT dramatically improves multiprogrammed
+ * throughput (C well above 1) for most programs; the exceptions are
+ * the same trace-cache-hungry programs (jack, javac, jess) that
+ * make bad partners in Figures 8/9.
+ */
+
+#include "bench/bench_common.h"
+#include "harness/table.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace jsmt;
+    ExperimentConfig config = benchConfig(argc, argv, 0.5);
+    banner("Figure 11: HT impact on multiprogrammed (identical "
+           "copies)",
+           config);
+
+    const auto rows = runIdenticalPairs(config);
+    TextTable table({"benchmark", "combined speedup"});
+    for (const auto& row : rows) {
+        table.addRow({row.benchmark,
+                      TextTable::fmt(row.combinedSpeedup) +
+                          (row.combinedSpeedup < 1.0 ? " *" : "")});
+    }
+    table.print(std::cout);
+    std::cout << "\n* = slowdown. Paper shape: decent speedups for "
+                 "most programs; the\ntrace-cache-hungry jack/"
+                 "javac/jess self-pairs are the exceptions.\n";
+    return 0;
+}

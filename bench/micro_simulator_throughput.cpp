@@ -1,0 +1,89 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator substrates
+ * themselves: cache probe throughput, TLB, BTB, synthetic stream
+ * generation, and end-to-end simulated-µops-per-second. These guard
+ * the simulator's own performance (the 9x9 pair matrix runs tens of
+ * millions of simulated cycles).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "core/simulation.h"
+#include "jvm/benchmarks.h"
+#include "jvm/code_walker.h"
+#include "jvm/data_model.h"
+#include "mem/cache.h"
+
+namespace {
+
+using namespace jsmt;
+
+void
+BM_CacheAccess(benchmark::State& state)
+{
+    CacheConfig config;
+    config.sizeBytes = 1024 * 1024;
+    config.lineBytes = 64;
+    config.ways = 8;
+    Cache cache(config);
+    Rng rng(7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(1, rng.below(4u << 20), 0));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_CodeWalker(benchmark::State& state)
+{
+    const WorkloadProfile& profile = benchmarkProfile("jack");
+    CodeWalker walker(profile, Rng(3));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(walker.nextLine());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CodeWalker);
+
+void
+BM_DataModel(benchmark::State& state)
+{
+    const WorkloadProfile& profile = benchmarkProfile("db");
+    DataModel model(profile, Rng(5), 0, 2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.nextAddr());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DataModel);
+
+void
+BM_EndToEndSimulation(benchmark::State& state)
+{
+    setVerbose(false);
+    for (auto _ : state) {
+        SystemConfig config;
+        Machine machine(config);
+        Simulation sim(machine);
+        WorkloadSpec spec;
+        spec.benchmark = "compress";
+        spec.threads = 1;
+        spec.lengthScale = 0.05;
+        sim.addProcess(spec);
+        const RunResult result = sim.run();
+        benchmark::DoNotOptimize(result.cycles);
+        state.SetIterationTime(static_cast<double>(result.cycles));
+        state.counters["sim_uops"] = benchmark::Counter(
+            static_cast<double>(
+                result.total(EventId::kUopsRetired)),
+            benchmark::Counter::kIsRate);
+    }
+}
+BENCHMARK(BM_EndToEndSimulation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Table 2: characterization of the multithreaded benchmarks on the
+ * Hyper-Threading processor — CPI, percentage of cycles in OS mode,
+ * and percentage of cycles in dual-thread (both logical CPUs active)
+ * mode, at 2 and 8 threads.
+ *
+ * Paper shape: OS share is small (a few percent) and grows with the
+ * thread count (more scheduling); all benchmarks run dual-thread
+ * >86% of the time except RayTracer, whose barrier-and-copy
+ * synchronization gives it the lowest dual-thread share and the most
+ * OS activity.
+ */
+
+#include "bench/bench_common.h"
+#include "harness/table.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace jsmt;
+    ExperimentConfig config = benchConfig(argc, argv);
+    banner("Table 2: characterization of multithreaded benchmarks "
+           "(HT on)",
+           config);
+
+    const auto rows = runTable2(config);
+    TextTable table({"benchmark", "threads", "CPI", "OS cycle %",
+                     "CPU DT mode %"});
+    for (const auto& row : rows) {
+        table.addRow({row.benchmark, std::to_string(row.threads),
+                      TextTable::fmt(row.cpi),
+                      TextTable::fmt(row.osCyclePct),
+                      TextTable::fmt(row.dualThreadPct)});
+    }
+    table.print(std::cout);
+    std::cout << "\nPaper shape: OS share grows with thread count; "
+                 "RayTracer has the\nlowest dual-thread share "
+                 "(synchronization) and the most OS activity.\n";
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Counter explorer — a Brink & Abyss-style command-line tool: pick
+ * any registered benchmark and any set of PMU events by name, run
+ * it, and read the per-logical-CPU counts, exactly the workflow the
+ * paper used on the real Pentium 4.
+ *
+ * Usage: counter_explorer [benchmark] [ht 0|1] [event ...]
+ *        counter_explorer --list            (list events)
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "core/simulation.h"
+#include "harness/table.h"
+#include "jvm/benchmarks.h"
+#include "pmu/abyss.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace jsmt;
+    setVerbose(false);
+
+    if (argc > 1 && std::strcmp(argv[1], "--list") == 0) {
+        std::cout << "available events (" << kNumEventIds << "):\n";
+        for (std::size_t e = 0; e < kNumEventIds; ++e) {
+            std::cout << "  "
+                      << eventName(static_cast<EventId>(e)) << '\n';
+        }
+        std::cout << "\nAt most " << Abyss::maxEvents()
+                  << " events fit one session (two counters per "
+                     "event, 18 counters).\n";
+        return 0;
+    }
+
+    const std::string benchmark = argc > 1 ? argv[1] : "PseudoJBB";
+    const bool hyper_threading =
+        argc > 2 ? std::atoi(argv[2]) != 0 : true;
+    std::vector<std::string> events;
+    for (int i = 3; i < argc; ++i)
+        events.emplace_back(argv[i]);
+    if (events.empty()) {
+        events = {"cycles",       "uops_retired",
+                  "l1d_miss",     "l2_miss",
+                  "trace_cache_miss", "itlb_miss",
+                  "btb_miss",     "branch_mispredict",
+                  "os_cycles"};
+    }
+
+    if (!isBenchmark(benchmark)) {
+        std::cerr << "unknown benchmark '" << benchmark << "'\n";
+        return 1;
+    }
+
+    SystemConfig config;
+    config.hyperThreading = hyper_threading;
+    Machine machine(config);
+    Abyss abyss(machine.pmu());
+    abyss.select(events);
+
+    Simulation sim(machine);
+    WorkloadSpec spec;
+    spec.benchmark = benchmark;
+    spec.lengthScale = 0.4;
+    sim.addProcess(spec);
+
+    abyss.begin();
+    const RunResult result = sim.run();
+    const auto report = abyss.end();
+
+    std::cout << "abyss report: " << benchmark << ", HT "
+              << (hyper_threading ? "on" : "off") << ", "
+              << result.cycles << " cycles\n\n";
+    TextTable table({"event", "lcpu0", "lcpu1", "total",
+                     "/1K instr"});
+    const auto instr =
+        static_cast<double>(result.total(EventId::kInstrRetired));
+    for (const auto& reading : report) {
+        table.addRow(
+            {reading.name, TextTable::fmt(reading.perContext[0]),
+             TextTable::fmt(reading.perContext[1]),
+             TextTable::fmt(reading.total),
+             TextTable::fmt(instr > 0 ? 1000.0 *
+                                            static_cast<double>(
+                                                reading.total) /
+                                            instr
+                                      : 0.0,
+                            3)});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Quickstart: build the modelled Pentium 4 machine, run one Java
+ * benchmark with Hyper-Threading off and on, and read the paper's
+ * headline counters through the Abyss harness.
+ *
+ * Usage: quickstart [benchmark] [threads] [scale]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/log.h"
+#include "core/simulation.h"
+#include "harness/solo.h"
+#include "harness/table.h"
+#include "jvm/benchmarks.h"
+#include "pmu/abyss.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace jsmt;
+    setVerbose(false);
+
+    const std::string benchmark = argc > 1 ? argv[1] : "MolDyn";
+    const std::uint32_t threads =
+        argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2]))
+                 : 0;
+    const double scale = argc > 3 ? std::atof(argv[3]) : 0.25;
+
+    if (!isBenchmark(benchmark)) {
+        std::cerr << "unknown benchmark '" << benchmark
+                  << "'; available:\n";
+        for (const auto& name : benchmarkNames())
+            std::cerr << "  " << name << '\n';
+        return 1;
+    }
+
+    std::cout << "jsmt quickstart: " << benchmark << " ("
+              << (threads ? std::to_string(threads)
+                          : std::string("default"))
+              << " threads, scale " << scale << ")\n\n";
+
+    // --- The one-machine, counter-driven workflow -----------------
+    // 1. Build a machine (the paper's 2.8 GHz P4 with HT).
+    SystemConfig config;
+    Machine machine(config);
+
+    // 2. Program the PMU through Abyss, exactly like the paper.
+    Abyss abyss(machine.pmu());
+    abyss.select({"cycles", "instr_retired", "l1d_miss",
+                  "trace_cache_miss", "l2_miss", "btb_miss"});
+
+    // 3. Run the workload.
+    Simulation sim(machine);
+    WorkloadSpec spec;
+    spec.benchmark = benchmark;
+    spec.threads = threads;
+    spec.lengthScale = scale;
+    sim.addProcess(spec);
+    abyss.begin();
+    sim.run();
+    const auto report = abyss.end();
+
+    std::cout << "Abyss counter report (HT on):\n";
+    TextTable counters({"event", "lcpu0", "lcpu1", "total"});
+    for (const auto& reading : report) {
+        counters.addRow({reading.name,
+                         TextTable::fmt(reading.perContext[0]),
+                         TextTable::fmt(reading.perContext[1]),
+                         TextTable::fmt(reading.total)});
+    }
+    counters.print(std::cout);
+
+    // --- HT-off vs HT-on comparison (the paper's experiment) ------
+    SoloOptions options;
+    options.threads = threads;
+    options.lengthScale = scale;
+    const RunResult off = measureSolo(config, benchmark, false,
+                                      options);
+    const RunResult on = measureSolo(config, benchmark, true,
+                                     options);
+
+    std::cout << "\nHyper-Threading comparison:\n";
+    TextTable table({"metric", "HT off", "HT on"});
+    table.addRow({"IPC", TextTable::fmt(off.ipc(), 3),
+                  TextTable::fmt(on.ipc(), 3)});
+    table.addRow({"CPI", TextTable::fmt(off.cpi(), 3),
+                  TextTable::fmt(on.cpi(), 3)});
+    table.addRow({"L1D misses / 1K instr",
+                  TextTable::fmt(off.perKiloInstr(EventId::kL1dMiss)),
+                  TextTable::fmt(on.perKiloInstr(EventId::kL1dMiss))});
+    table.addRow(
+        {"TC misses / 1K instr",
+         TextTable::fmt(off.perKiloInstr(EventId::kTraceCacheMiss)),
+         TextTable::fmt(on.perKiloInstr(EventId::kTraceCacheMiss))});
+    table.addRow({"L2 misses / 1K instr",
+                  TextTable::fmt(off.perKiloInstr(EventId::kL2Miss)),
+                  TextTable::fmt(on.perKiloInstr(EventId::kL2Miss))});
+    table.addRow({"BTB miss ratio",
+                  TextTable::fmt(off.ratio(EventId::kBtbMiss,
+                                           EventId::kBtbAccess),
+                                 4),
+                  TextTable::fmt(on.ratio(EventId::kBtbMiss,
+                                          EventId::kBtbAccess),
+                                 4)});
+    table.addRow({"OS cycle %",
+                  TextTable::fmt(100 * off.osCycleFraction()),
+                  TextTable::fmt(100 * on.osCycleFraction())});
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,36 @@
+#include "branch/branch_unit.h"
+
+namespace jsmt {
+
+BranchUnit::BranchUnit(const BranchConfig& config, Pmu& pmu)
+    : _config(config), _pmu(pmu), _btb(config.btb)
+{
+}
+
+void
+BranchUnit::setHyperThreading(bool enabled)
+{
+    _btb.setHyperThreading(enabled);
+}
+
+BranchOutcome
+BranchUnit::predict(Asid asid, Addr pc, ContextId ctx,
+                    double mispredict_prob, Rng& rng,
+                    bool lookup_btb)
+{
+    BranchOutcome outcome;
+    if (lookup_btb) {
+        _pmu.record(EventId::kBtbAccess, ctx);
+        outcome.btbHit = _btb.access(asid, pc, ctx);
+        if (!outcome.btbHit) {
+            _pmu.record(EventId::kBtbMiss, ctx);
+            outcome.fetchBubble = _config.btbMissBubbleCycles;
+        }
+    }
+    outcome.mispredicted = rng.chance(mispredict_prob);
+    if (outcome.mispredicted)
+        _pmu.record(EventId::kBranchMispredict, ctx);
+    return outcome;
+}
+
+} // namespace jsmt

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Branch prediction unit: BTB plus a direction-outcome model.
+ *
+ * Direction prediction accuracy is a property of the workload (branch
+ * entropy), so each synthetic branch carries its stream's base
+ * misprediction probability; the structural part — target presence in
+ * the shared BTB — is modelled exactly. A branch redirects the front
+ * end when its direction is mispredicted, and suffers a decode-time
+ * fetch bubble when its target misses in the BTB.
+ */
+
+#ifndef JSMT_BRANCH_BRANCH_UNIT_H
+#define JSMT_BRANCH_BRANCH_UNIT_H
+
+#include <cstdint>
+
+#include "branch/btb.h"
+#include "common/rng.h"
+#include "pmu/pmu.h"
+
+namespace jsmt {
+
+/** Configuration of the branch unit. */
+struct BranchConfig
+{
+    BtbConfig btb;
+    /** Extra fetch-bubble cycles when the target misses the BTB. */
+    std::uint32_t btbMissBubbleCycles = 6;
+    /** Minimum pipeline-restart penalty on a direction mispredict. */
+    std::uint32_t mispredictRestartCycles = 20;
+};
+
+/** Outcome of predicting one branch. */
+struct BranchOutcome
+{
+    bool btbHit = true;
+    bool mispredicted = false;
+    /** Front-end bubble to charge at fetch (BTB-miss redirect). */
+    std::uint32_t fetchBubble = 0;
+};
+
+/**
+ * Predicts branches and accounts BTB/misprediction events to the PMU.
+ */
+class BranchUnit
+{
+  public:
+    BranchUnit(const BranchConfig& config, Pmu& pmu);
+
+    /** Switch HT mode (retags/flushes the BTB). */
+    void setHyperThreading(bool enabled);
+
+    /**
+     * Predict the branch at @p pc.
+     *
+     * @param mispredict_prob the stream's direction-miss probability.
+     * @param rng deterministic random source of the fetching core.
+     * @param lookup_btb whether the branch needs a target from the
+     *        BTB (taken, line-ending branches); fall-through
+     *        branches only risk a direction mispredict.
+     */
+    BranchOutcome predict(Asid asid, Addr pc, ContextId ctx,
+                          double mispredict_prob, Rng& rng,
+                          bool lookup_btb = true);
+
+    /** @return restart penalty for a direction mispredict. */
+    std::uint32_t
+    mispredictRestartCycles() const
+    {
+        return _config.mispredictRestartCycles;
+    }
+
+    /** @return BTB structure (tests/inspection). */
+    const Btb& btb() const { return _btb; }
+
+  private:
+    BranchConfig _config;
+    Pmu& _pmu;
+    Btb _btb;
+};
+
+} // namespace jsmt
+
+#endif // JSMT_BRANCH_BRANCH_UNIT_H

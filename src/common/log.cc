@@ -1,0 +1,51 @@
+#include "common/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace jsmt {
+
+namespace {
+bool g_verbose = true;
+} // namespace
+
+void
+panic(const std::string& message)
+{
+    std::fprintf(stderr, "panic: %s\n", message.c_str());
+    std::abort();
+}
+
+void
+fatal(const std::string& message)
+{
+    std::fprintf(stderr, "fatal: %s\n", message.c_str());
+    std::exit(1);
+}
+
+void
+warn(const std::string& message)
+{
+    std::fprintf(stderr, "warn: %s\n", message.c_str());
+}
+
+void
+inform(const std::string& message)
+{
+    if (g_verbose)
+        std::fprintf(stderr, "info: %s\n", message.c_str());
+}
+
+void
+setVerbose(bool verbose_flag)
+{
+    g_verbose = verbose_flag;
+}
+
+bool
+verbose()
+{
+    return g_verbose;
+}
+
+} // namespace jsmt

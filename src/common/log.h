@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting: fatal() for user errors,
+ * panic() for internal invariant violations, warn()/inform() for
+ * non-fatal diagnostics.
+ */
+
+#ifndef JSMT_COMMON_LOG_H
+#define JSMT_COMMON_LOG_H
+
+#include <sstream>
+#include <string>
+
+namespace jsmt {
+
+/**
+ * Abort the process because of a simulator bug (an invariant that can
+ * never legally be violated was violated). Prints to stderr and calls
+ * std::abort().
+ */
+[[noreturn]] void panic(const std::string& message);
+
+/**
+ * Terminate the simulation because of a user error (bad configuration,
+ * inconsistent arguments). Prints to stderr and exits with status 1.
+ */
+[[noreturn]] void fatal(const std::string& message);
+
+/** Print a warning about questionable but survivable conditions. */
+void warn(const std::string& message);
+
+/** Print an informational status message. */
+void inform(const std::string& message);
+
+/** Enable/disable inform() output (benches silence it). */
+void setVerbose(bool verbose);
+
+/** @return whether inform() output is enabled. */
+bool verbose();
+
+} // namespace jsmt
+
+#endif // JSMT_COMMON_LOG_H

@@ -1,0 +1,108 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace jsmt {
+
+namespace {
+
+/** SplitMix64 step, used for seed expansion. */
+std::uint64_t
+splitMix64(std::uint64_t& x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto& word : _state)
+        word = splitMix64(s);
+    // xoshiro must not be seeded with all zeros; SplitMix64 cannot
+    // produce four zero outputs in a row, but be defensive anyway.
+    if (_state[0] == 0 && _state[1] == 0 && _state[2] == 0 &&
+        _state[3] == 0) {
+        _state[0] = 1;
+    }
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(_state[1] * 5, 7) * 9;
+    const std::uint64_t t = _state[1] << 17;
+    _state[2] ^= _state[0];
+    _state[3] ^= _state[1];
+    _state[1] ^= _state[2];
+    _state[0] ^= _state[3];
+    _state[2] ^= t;
+    _state[3] = rotl(_state[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    if (bound == 0)
+        return 0;
+    // Simple modulo mapping; the tiny modulo bias is irrelevant for
+    // workload synthesis.
+    return next() % bound;
+}
+
+std::uint64_t
+Rng::between(std::uint64_t lo, std::uint64_t hi)
+{
+    if (hi <= lo)
+        return lo;
+    return lo + below(hi - lo + 1);
+}
+
+double
+Rng::uniform()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+std::uint64_t
+Rng::geometric(double p, std::uint64_t cap)
+{
+    if (p >= 1.0)
+        return 0;
+    if (p <= 0.0)
+        return cap;
+    const double u = uniform();
+    const double v = std::log1p(-u) / std::log1p(-p);
+    const auto n = static_cast<std::uint64_t>(v);
+    return n > cap ? cap : n;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0xd1b54a32d192ed03ULL);
+}
+
+} // namespace jsmt

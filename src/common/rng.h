@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * All stochastic behaviour in jsmt flows through Rng so that runs are
+ * exactly reproducible from a seed. The generator is xoshiro256**,
+ * seeded through SplitMix64, both implemented locally so results do
+ * not depend on standard-library implementation details.
+ */
+
+#ifndef JSMT_COMMON_RNG_H
+#define JSMT_COMMON_RNG_H
+
+#include <array>
+#include <cstdint>
+
+namespace jsmt {
+
+/**
+ * xoshiro256** pseudo-random generator with convenience distributions.
+ *
+ * Each simulated thread owns its own Rng forked from the machine seed,
+ * so adding or removing one thread never perturbs the random streams
+ * of the others.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** @return next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** @return uniform integer in [0, bound); bound 0 yields 0. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** @return uniform integer in [lo, hi] inclusive. */
+    std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
+
+    /** @return uniform double in [0, 1). */
+    double uniform();
+
+    /** @return true with probability p (clamped to [0,1]). */
+    bool chance(double p);
+
+    /**
+     * Geometric distribution: number of failures before first success
+     * with success probability p, clamped to [0, cap].
+     */
+    std::uint64_t geometric(double p, std::uint64_t cap = 1u << 20);
+
+    /**
+     * Fork a statistically independent child generator. Used to hand
+     * each thread/component its own stream.
+     */
+    Rng fork();
+
+  private:
+    std::array<std::uint64_t, 4> _state;
+};
+
+} // namespace jsmt
+
+#endif // JSMT_COMMON_RNG_H

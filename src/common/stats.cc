@@ -1,0 +1,143 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace jsmt {
+
+double
+mean(const std::vector<double>& xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double>& xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double
+percentile(std::vector<double> xs, double q)
+{
+    if (xs.empty())
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    std::sort(xs.begin(), xs.end());
+    const double pos = q * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+BoxSummary
+boxSummary(const std::vector<double>& xs)
+{
+    BoxSummary s;
+    if (xs.empty())
+        return s;
+    s.min = percentile(xs, 0.0);
+    s.q1 = percentile(xs, 0.25);
+    s.median = percentile(xs, 0.5);
+    s.q3 = percentile(xs, 0.75);
+    s.max = percentile(xs, 1.0);
+    s.mean = mean(xs);
+    s.count = xs.size();
+    return s;
+}
+
+double
+pearson(const std::vector<double>& xs,
+        const std::vector<double>& ys)
+{
+    if (xs.size() != ys.size() || xs.size() < 2)
+        return 0.0;
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0;
+    double sxx = 0.0;
+    double syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx <= 0.0 || syy <= 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+
+/** Average ranks (ties share the mean rank). */
+std::vector<double>
+ranksOf(const std::vector<double>& xs)
+{
+    std::vector<std::size_t> order(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return xs[a] < xs[b];
+              });
+    std::vector<double> ranks(xs.size());
+    std::size_t i = 0;
+    while (i < order.size()) {
+        std::size_t j = i;
+        while (j + 1 < order.size() &&
+               xs[order[j + 1]] == xs[order[i]]) {
+            ++j;
+        }
+        const double avg_rank =
+            (static_cast<double>(i) + static_cast<double>(j)) /
+                2.0 +
+            1.0;
+        for (std::size_t k = i; k <= j; ++k)
+            ranks[order[k]] = avg_rank;
+        i = j + 1;
+    }
+    return ranks;
+}
+
+} // namespace
+
+double
+spearman(const std::vector<double>& xs,
+         const std::vector<double>& ys)
+{
+    if (xs.size() != ys.size() || xs.size() < 2)
+        return 0.0;
+    return pearson(ranksOf(xs), ranksOf(ys));
+}
+
+double
+geomean(const std::vector<double>& xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0)
+            panic("geomean: non-positive input");
+        acc += std::log(x);
+    }
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+} // namespace jsmt

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Descriptive-statistics helpers used by the experiment harness:
+ * means, percentiles, and the five-number box-chart summary that
+ * Figure 8 of the paper plots.
+ */
+
+#ifndef JSMT_COMMON_STATS_H
+#define JSMT_COMMON_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace jsmt {
+
+/**
+ * Five-number summary plus mean, matching the box chart in the paper
+ * (median and mean marks, 25th/75th percentile box edges, min/max
+ * whiskers).
+ */
+struct BoxSummary
+{
+    double min = 0.0;
+    double q1 = 0.0;     ///< 25th percentile.
+    double median = 0.0;
+    double q3 = 0.0;     ///< 75th percentile.
+    double max = 0.0;
+    double mean = 0.0;
+    std::size_t count = 0;
+};
+
+/** Arithmetic mean; 0 for an empty sample. */
+double mean(const std::vector<double>& xs);
+
+/** Sample standard deviation; 0 for fewer than two points. */
+double stddev(const std::vector<double>& xs);
+
+/**
+ * Linear-interpolation percentile, q in [0,1]. The input need not be
+ * sorted. Returns 0 for an empty sample.
+ */
+double percentile(std::vector<double> xs, double q);
+
+/** Compute the box-chart summary of a sample. */
+BoxSummary boxSummary(const std::vector<double>& xs);
+
+/** Geometric mean; 0 for an empty sample; requires positive inputs. */
+double geomean(const std::vector<double>& xs);
+
+/**
+ * Pearson correlation coefficient of two equal-length samples;
+ * 0 when either sample is constant or sizes mismatch/empty.
+ */
+double pearson(const std::vector<double>& xs,
+               const std::vector<double>& ys);
+
+/**
+ * Spearman rank correlation (Pearson over average ranks); same
+ * degenerate-case behaviour as pearson().
+ */
+double spearman(const std::vector<double>& xs,
+                const std::vector<double>& ys);
+
+} // namespace jsmt
+
+#endif // JSMT_COMMON_STATS_H

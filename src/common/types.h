@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the jsmt simulator.
+ */
+
+#ifndef JSMT_COMMON_TYPES_H
+#define JSMT_COMMON_TYPES_H
+
+#include <cstdint>
+
+namespace jsmt {
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** A simulated virtual or physical byte address. */
+using Addr = std::uint64_t;
+
+/** Address-space identifier; one per process, 0 reserved for the kernel. */
+using Asid = std::uint32_t;
+
+/** Address space id of the (single, shared) simulated kernel. */
+inline constexpr Asid kKernelAsid = 0;
+
+/** Identifier of a software thread (OS-visible). */
+using ThreadId = std::uint32_t;
+
+/** Identifier of a simulated process (one JVM instance). */
+using ProcessId = std::uint32_t;
+
+/**
+ * Index of a hardware context (logical CPU). The modelled machine has
+ * two, matching a Hyper-Threading Pentium 4.
+ */
+using ContextId = std::uint32_t;
+
+/** Number of hardware contexts of the modelled processor. */
+inline constexpr ContextId kNumContexts = 2;
+
+/** Sentinel for "no context". */
+inline constexpr ContextId kInvalidContext = ~ContextId{0};
+
+/** Sentinel for "no thread". */
+inline constexpr ThreadId kInvalidThread = ~ThreadId{0};
+
+} // namespace jsmt
+
+#endif // JSMT_COMMON_TYPES_H

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The micro-operation vocabulary shared between the workload
+ * generators (JVM, OS) and the SMT core.
+ *
+ * jsmt does not decode a real ISA: the paper characterizes Java
+ * applications purely through counter events, so µops are abstract
+ * typed tokens carrying exactly the attributes the pipeline and
+ * memory system need (type, dependence distance, addresses, branch
+ * predictability). One µop is accounted as one instruction.
+ */
+
+#ifndef JSMT_COMMON_UOP_H
+#define JSMT_COMMON_UOP_H
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace jsmt {
+
+/**
+ * µops delivered per trace line. The modelled trace cache holds
+ * 12 Kµops as 2048 six-µop lines, following the Pentium 4.
+ */
+inline constexpr std::uint32_t kUopsPerTraceLine = 6;
+
+/** Micro-operation classes the pipeline distinguishes. */
+enum class UopType : std::uint8_t {
+    kAlu,    ///< Integer operation, 1-cycle latency.
+    kFp,     ///< Floating-point operation, multi-cycle latency.
+    kLoad,   ///< Data read through the cache hierarchy.
+    kStore,  ///< Data write (buffered; off the critical path).
+    kBranch, ///< Control transfer; consults predictor and BTB.
+};
+
+/** One micro-operation. */
+struct Uop
+{
+    UopType type = UopType::kAlu;
+    /** True when the µop belongs to kernel-mode execution. */
+    bool kernelMode = false;
+    /**
+     * Distance (in µops of the same software thread) to the producer
+     * this µop depends on; 0 means no register dependence.
+     */
+    std::uint8_t depDist = 0;
+    /** Execution latency once issued (loads add memory time). */
+    std::uint16_t execLatency = 1;
+    /** Instruction address (used by branches for BTB indexing). */
+    Addr pc = 0;
+    /** Effective data address for loads and stores. */
+    Addr dataVaddr = 0;
+    /** Direction-misprediction probability for branches. */
+    float mispredictProb = 0.0f;
+};
+
+/**
+ * A fetched trace line: up to one trace-cache line's worth of µops,
+ * delivered to the core as a unit.
+ */
+struct FetchBundle
+{
+    /** Maximum µops a trace line can carry. */
+    static constexpr std::size_t kMaxUops = 8;
+
+    /**
+     * Code virtual address of the line (ITLB/L2 path). May be
+     * sparse for JITed code layouts.
+     */
+    Addr lineVaddr = 0;
+    /**
+     * Dense trace identifier (trace-cache key and branch pc base):
+     * traces are identified by path, not byte address, so the trace
+     * cache indexes a dense id regardless of code layout.
+     */
+    Addr traceAddr = 0;
+    /** Address space the code belongs to (kernel or process). */
+    Asid asid = 0;
+    /** True when this is kernel-mode code. */
+    bool kernelMode = false;
+    /**
+     * Probability that a resident trace for this line is stale and
+     * must be rebuilt (path-dependent trace identity).
+     */
+    float rebuildProb = 0.0f;
+    std::array<Uop, kMaxUops> uops{};
+    std::uint8_t count = 0;
+
+    bool empty() const { return count == 0; }
+};
+
+} // namespace jsmt
+
+#endif // JSMT_COMMON_UOP_H

@@ -1,0 +1,23 @@
+#include "core/machine.h"
+
+namespace jsmt {
+
+Machine::Machine(const SystemConfig& config)
+    : _config(config),
+      _pmu(),
+      _mem(config.mem, _pmu),
+      _branch(config.branch, _pmu),
+      _scheduler(config.os, _pmu),
+      _core(config.core, _mem, _branch, _scheduler, _pmu,
+            config.seed)
+{
+    _core.setHyperThreading(config.hyperThreading);
+}
+
+void
+Machine::setHyperThreading(bool enabled)
+{
+    _core.setHyperThreading(enabled);
+}
+
+} // namespace jsmt

@@ -1,0 +1,66 @@
+#include "core/run_result.h"
+
+namespace jsmt {
+
+double
+RunResult::ipc() const
+{
+    const std::uint64_t c = total(EventId::kCycles);
+    if (c == 0)
+        return 0.0;
+    return static_cast<double>(total(EventId::kInstrRetired)) /
+           static_cast<double>(c);
+}
+
+double
+RunResult::cpi() const
+{
+    const std::uint64_t instr = total(EventId::kInstrRetired);
+    if (instr == 0)
+        return 0.0;
+    return static_cast<double>(total(EventId::kCycles)) /
+           static_cast<double>(instr);
+}
+
+double
+RunResult::perKiloInstr(EventId id) const
+{
+    const std::uint64_t instr = total(EventId::kInstrRetired);
+    if (instr == 0)
+        return 0.0;
+    return 1000.0 * static_cast<double>(total(id)) /
+           static_cast<double>(instr);
+}
+
+double
+RunResult::ratio(EventId num, EventId den) const
+{
+    const std::uint64_t d = total(den);
+    if (d == 0)
+        return 0.0;
+    return static_cast<double>(total(num)) / static_cast<double>(d);
+}
+
+double
+RunResult::dualThreadFraction() const
+{
+    const std::uint64_t busy = total(EventId::kDualThreadCycles) +
+                               total(EventId::kSingleThreadCycles);
+    if (busy == 0)
+        return 0.0;
+    return static_cast<double>(total(EventId::kDualThreadCycles)) /
+           static_cast<double>(busy);
+}
+
+double
+RunResult::osCycleFraction() const
+{
+    const std::uint64_t busy =
+        total(EventId::kOsCycles) + total(EventId::kUserCycles);
+    if (busy == 0)
+        return 0.0;
+    return static_cast<double>(total(EventId::kOsCycles)) /
+           static_cast<double>(busy);
+}
+
+} // namespace jsmt

@@ -1,0 +1,128 @@
+#include "core/simulation.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace jsmt {
+
+Simulation::Simulation(Machine& machine) : _machine(machine)
+{
+}
+
+JavaProcess&
+Simulation::addProcess(const WorkloadSpec& spec)
+{
+    const WorkloadProfile& profile =
+        benchmarkProfile(spec.benchmark);
+    const std::uint32_t threads =
+        spec.threads > 0 ? spec.threads : profile.defaultThreads;
+    const ProcessId pid = _nextPid++;
+    const Asid asid = spec.reuseAsid != 0 ? spec.reuseAsid
+                                          : _machine.allocateAsid();
+    const std::uint64_t seed =
+        _machine.config().seed ^
+        (static_cast<std::uint64_t>(pid) * 0x9e3779b97f4a7c15ULL);
+    auto process = std::make_unique<JavaProcess>(
+        pid, asid, profile, threads, spec.lengthScale, seed,
+        _machine.scheduler(), _machine.pmu());
+    process->launch(_cycle);
+    JavaProcess& ref = *process;
+    _live.push_back(process.get());
+    _processes.push_back(std::move(process));
+    return ref;
+}
+
+bool
+Simulation::allProcessesComplete() const
+{
+    return _live.empty();
+}
+
+RunResult
+Simulation::run()
+{
+    return run(RunOptions{});
+}
+
+RunResult
+Simulation::run(const RunOptions& options)
+{
+    RunResult result;
+
+    // Snapshot PMU raw counts to report deltas for this run.
+    std::array<std::array<std::uint64_t, kNumEventIds>, kNumContexts>
+        baseline{};
+    for (ContextId ctx = 0; ctx < kNumContexts; ++ctx) {
+        for (std::size_t e = 0; e < kNumEventIds; ++e) {
+            baseline[ctx][e] = _machine.pmu().raw(
+                static_cast<EventId>(e), ctx);
+        }
+    }
+
+    const Cycle start = _cycle;
+    bool stop_requested = false;
+    std::vector<JavaProcess*> just_completed;
+
+    Cycle next_sample =
+        options.sampleIntervalCycles > 0
+            ? start + options.sampleIntervalCycles
+            : ~Cycle{0};
+
+    while (!stop_requested && !allProcessesComplete() &&
+           _cycle - start < options.maxCycles) {
+        _machine.scheduler().tick(_cycle);
+        _machine.core().cycle(_cycle);
+        ++_cycle;
+
+        if (_cycle >= next_sample) {
+            if (options.onSample)
+                options.onSample(*this, _cycle);
+            next_sample += options.sampleIntervalCycles;
+        }
+
+        // Detect completions among the (few) live processes.
+        just_completed.clear();
+        for (std::size_t i = 0; i < _live.size();) {
+            if (_live[i]->complete()) {
+                just_completed.push_back(_live[i]);
+                _live[i] = _live.back();
+                _live.pop_back();
+            } else {
+                ++i;
+            }
+        }
+        for (JavaProcess* process : just_completed) {
+            if (options.onProcessExit &&
+                !options.onProcessExit(*this, *process)) {
+                stop_requested = true;
+            }
+        }
+    }
+
+    result.cycles = _cycle - start;
+    result.allComplete = allProcessesComplete();
+    for (ContextId ctx = 0; ctx < kNumContexts; ++ctx) {
+        for (std::size_t e = 0; e < kNumEventIds; ++e) {
+            result.events[ctx][e] =
+                _machine.pmu().raw(static_cast<EventId>(e), ctx) -
+                baseline[ctx][e];
+        }
+    }
+    for (const auto& process : _processes) {
+        ProcessResult pr;
+        pr.pid = process->pid();
+        pr.benchmark = process->profile().name;
+        pr.complete = process->complete();
+        pr.launchCycle = process->launchCycle();
+        pr.completionCycle = process->completionCycle();
+        pr.durationCycles =
+            process->complete() ? process->durationCycles() : 0;
+        pr.gcRuns = process->heap().gcCount();
+        pr.allocatedBytes = process->heap().totalAllocated();
+        result.processes.push_back(std::move(pr));
+    }
+    return result;
+}
+
+} // namespace jsmt

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Simulation driver: owns the processes running on a Machine and
+ * advances the clock until they complete.
+ */
+
+#ifndef JSMT_CORE_SIMULATION_H
+#define JSMT_CORE_SIMULATION_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/machine.h"
+#include "core/run_result.h"
+#include "jvm/benchmarks.h"
+#include "jvm/process.h"
+
+namespace jsmt {
+
+/** Description of one workload to launch. */
+struct WorkloadSpec
+{
+    /** Registered benchmark name (see jvm/benchmarks.h). */
+    std::string benchmark;
+    /** Application threads; 0 means the profile's default. */
+    std::uint32_t threads = 0;
+    /** Multiplier on the profile's µop quota (tests use < 1). */
+    double lengthScale = 1.0;
+    /**
+     * Address space to run in; 0 allocates a fresh one. Reusing the
+     * asid of a completed instance models a further iteration inside
+     * the same (warmed) JVM — how the paper measures steady state
+     * (SPECjvm98 -m1 -M1 inside a running harness, PseudoJBB with
+     * initialization excluded).
+     */
+    Asid reuseAsid = 0;
+};
+
+/**
+ * Drives a Machine: launches JVM processes and runs the cycle loop.
+ *
+ * Multiple run() calls continue the same clock; processes may be
+ * added between or during runs (the repeat-relaunch harness adds a
+ * fresh instance from the exit callback).
+ */
+class Simulation
+{
+  public:
+    /** Options controlling one run() call. */
+    struct RunOptions
+    {
+        /** Safety limit on cycles simulated by this call. */
+        Cycle maxCycles = 4'000'000'000ULL;
+        /**
+         * Called once when a process completes. Return false to
+         * stop the run; the callback may addProcess() to relaunch.
+         */
+        std::function<bool(Simulation&, JavaProcess&)> onProcessExit;
+        /**
+         * When positive, onSample is invoked every this many cycles
+         * (time-series measurement, e.g. AbyssSampler::sample).
+         */
+        Cycle sampleIntervalCycles = 0;
+        /** Periodic callback; see sampleIntervalCycles. */
+        std::function<void(Simulation&, Cycle)> onSample;
+    };
+
+    explicit Simulation(Machine& machine);
+
+    /**
+     * Create and launch a process at the current cycle.
+     * @return reference owned by the simulation.
+     */
+    JavaProcess& addProcess(const WorkloadSpec& spec);
+
+    /**
+     * Run until every process has completed (or the callback stops
+     * the run, or maxCycles elapse).
+     */
+    RunResult run(const RunOptions& options);
+
+    /** Run with default options. */
+    RunResult run();
+
+    /** @return current simulated cycle. */
+    Cycle now() const { return _cycle; }
+
+    /** @return all processes launched so far. */
+    const std::vector<std::unique_ptr<JavaProcess>>&
+    processes() const
+    {
+        return _processes;
+    }
+
+    /** @return the machine being driven. */
+    Machine& machine() { return _machine; }
+
+  private:
+    bool allProcessesComplete() const;
+
+    Machine& _machine;
+    Cycle _cycle = 0;
+    ProcessId _nextPid = 1;
+    std::vector<std::unique_ptr<JavaProcess>> _processes;
+    /** Launched processes that have not completed yet. */
+    std::vector<JavaProcess*> _live;
+};
+
+} // namespace jsmt
+
+#endif // JSMT_CORE_SIMULATION_H

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Top-level configuration of the modelled machine.
+ */
+
+#ifndef JSMT_CORE_SYSTEM_CONFIG_H
+#define JSMT_CORE_SYSTEM_CONFIG_H
+
+#include <cstdint>
+
+#include "branch/branch_unit.h"
+#include "mem/memory_system.h"
+#include "os/scheduler.h"
+#include "uarch/core_config.h"
+
+namespace jsmt {
+
+/**
+ * Everything needed to build a Machine. Defaults model the paper's
+ * platform: a 2.8 GHz Pentium 4 with Hyper-Threading, 1 GB DDR, and
+ * RedHat Linux 9 in single-user mode.
+ */
+struct SystemConfig
+{
+    CoreConfig core;
+    MemConfig mem;
+    BranchConfig branch;
+    OsConfig os;
+    /** Hyper-Threading enabled at boot (can be switched later). */
+    bool hyperThreading = true;
+    /** Master seed; all randomness derives deterministically. */
+    std::uint64_t seed = 42;
+};
+
+} // namespace jsmt
+
+#endif // JSMT_CORE_SYSTEM_CONFIG_H

@@ -1,0 +1,148 @@
+#include "harness/experiments.h"
+
+#include "common/log.h"
+#include "harness/solo.h"
+#include "jvm/benchmarks.h"
+
+namespace jsmt {
+
+std::vector<MtCounterRow>
+runMultithreadedSweep(const ExperimentConfig& config,
+                      const std::vector<std::uint32_t>& thread_counts)
+{
+    std::vector<MtCounterRow> rows;
+    for (const std::string& name : multiThreadedNames()) {
+        for (const std::uint32_t threads : thread_counts) {
+            if (verbose()) {
+                inform("sweep " + name + " x" +
+                       std::to_string(threads));
+            }
+            MtCounterRow row;
+            row.benchmark = name;
+            row.threads = threads;
+            SoloOptions options;
+            options.threads = threads;
+            options.lengthScale = config.lengthScale;
+            row.htOff = measureSolo(config.system, name, false,
+                                    options);
+            row.htOn = measureSolo(config.system, name, true,
+                                   options);
+            rows.push_back(std::move(row));
+        }
+    }
+    return rows;
+}
+
+std::vector<Table2Row>
+runTable2(const ExperimentConfig& config)
+{
+    std::vector<Table2Row> rows;
+    for (const std::string& name : multiThreadedNames()) {
+        for (const std::uint32_t threads : {2u, 8u}) {
+            if (verbose()) {
+                inform("table2 " + name + " x" +
+                       std::to_string(threads));
+            }
+            SoloOptions options;
+            options.threads = threads;
+            options.lengthScale = config.lengthScale;
+            const RunResult result =
+                measureSolo(config.system, name, true, options);
+            Table2Row row;
+            row.benchmark = name;
+            row.threads = threads;
+            row.cpi = result.cpi();
+            row.osCyclePct = 100.0 * result.osCycleFraction();
+            row.dualThreadPct =
+                100.0 * result.dualThreadFraction();
+            rows.push_back(row);
+        }
+    }
+    return rows;
+}
+
+PairMatrix
+runPairMatrix(const ExperimentConfig& config)
+{
+    PairMatrix matrix;
+    matrix.names = singleThreadedNames();
+    MultiprogramRunner runner(config.system, config.lengthScale,
+                              config.pairMinRuns);
+    matrix.cells = runner.runCrossProduct(matrix.names);
+    return matrix;
+}
+
+std::vector<SingleThreadImpactRow>
+runSingleThreadImpact(const ExperimentConfig& config)
+{
+    std::vector<SingleThreadImpactRow> rows;
+    for (const std::string& name : singleThreadedNames()) {
+        if (verbose())
+            inform("single-thread impact " + name);
+        // Measure the warmed iteration (the paper's runs amortize
+        // start-up over ~10^11 instructions; a cold synthetic run
+        // would be dominated by compulsory misses).
+        SoloOptions options;
+        options.threads = 1;
+        options.lengthScale = config.lengthScale;
+        options.warmup = true;
+        SingleThreadImpactRow row;
+        row.benchmark = name;
+        row.cyclesHtOff = static_cast<double>(
+            measureSolo(config.system, name, false, options).cycles);
+        row.cyclesHtOn = static_cast<double>(
+            measureSolo(config.system, name, true, options).cycles);
+        if (row.cyclesHtOff > 0.0) {
+            row.increasePct = 100.0 *
+                              (row.cyclesHtOn - row.cyclesHtOff) /
+                              row.cyclesHtOff;
+        }
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+std::vector<IdenticalPairRow>
+runIdenticalPairs(const ExperimentConfig& config)
+{
+    std::vector<IdenticalPairRow> rows;
+    MultiprogramRunner runner(config.system, config.lengthScale,
+                              config.pairMinRuns);
+    for (const std::string& name : singleThreadedNames()) {
+        if (verbose())
+            inform("identical pair " + name);
+        const PairResult pair = runner.runPair(name, name);
+        rows.push_back({name, pair.combinedSpeedup});
+    }
+    return rows;
+}
+
+std::vector<ThreadScalingRow>
+runThreadScaling(const ExperimentConfig& config,
+                 const std::vector<std::uint32_t>& thread_counts)
+{
+    std::vector<ThreadScalingRow> rows;
+    for (const std::string& name : multiThreadedNames()) {
+        for (const std::uint32_t threads : thread_counts) {
+            if (verbose()) {
+                inform("scaling " + name + " x" +
+                       std::to_string(threads));
+            }
+            SoloOptions options;
+            options.threads = threads;
+            options.lengthScale = config.lengthScale;
+            const RunResult result =
+                measureSolo(config.system, name, true, options);
+            ThreadScalingRow row;
+            row.benchmark = name;
+            row.threads = threads;
+            row.ipc = result.ipc();
+            row.l1dMissPerKiloInstr =
+                result.perKiloInstr(EventId::kL1dMiss);
+            rows.push_back(row);
+        }
+    }
+    return rows;
+}
+
+} // namespace jsmt

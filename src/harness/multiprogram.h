@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Multiprogrammed-pair measurement using the Tuck & Tullsen
+ * repeat-relaunch methodology the paper adopts (§4.2).
+ *
+ * Two independent programs run simultaneously on the HT machine; a
+ * utility relaunches whichever finishes, so both always co-run. Each
+ * program completes at least N times; the first and last completions
+ * are dropped and the rest averaged. Combined speedup is
+ *   C_AB = A_S/A_H + B_S/B_H
+ * with A_S, B_S the HT-disabled solo times; 1 is a perfect
+ * time-sharing machine, 2 a perfect 2-way SMP.
+ */
+
+#ifndef JSMT_HARNESS_MULTIPROGRAM_H
+#define JSMT_HARNESS_MULTIPROGRAM_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/system_config.h"
+
+namespace jsmt {
+
+/** Result of co-running one pair. */
+struct PairResult
+{
+    std::string a;
+    std::string b;
+    /** Mean completion time of each program while co-running. */
+    double meanDurationA = 0.0;
+    double meanDurationB = 0.0;
+    /** HT-disabled solo execution times. */
+    double soloA = 0.0;
+    double soloB = 0.0;
+    /** Per-program speedup components A_S/A_H and B_S/B_H. */
+    double speedupA = 0.0;
+    double speedupB = 0.0;
+    /** Combined speedup C_AB. */
+    double combinedSpeedup = 0.0;
+    /** Completions measured (after dropping first and last). */
+    std::size_t runsA = 0;
+    std::size_t runsB = 0;
+};
+
+/**
+ * Runs benchmark pairs and caches solo baselines.
+ */
+class MultiprogramRunner
+{
+  public:
+    /**
+     * @param config machine configuration template.
+     * @param length_scale benchmark length multiplier.
+     * @param min_runs completions required per program (paper: 12).
+     */
+    explicit MultiprogramRunner(const SystemConfig& config,
+                                double length_scale = 1.0,
+                                std::size_t min_runs = 12);
+
+    /** Co-run @p a and @p b on an HT machine; compute C_AB. */
+    PairResult runPair(const std::string& a, const std::string& b);
+
+    /** HT-disabled solo duration (cached across pairs). */
+    double soloDuration(const std::string& benchmark);
+
+    /** @return the full cross product over @p names. */
+    std::vector<PairResult>
+    runCrossProduct(const std::vector<std::string>& names);
+
+  private:
+    SystemConfig _config;
+    double _lengthScale;
+    std::size_t _minRuns;
+    std::map<std::string, double> _soloCache;
+};
+
+/**
+ * Mean of @p durations after dropping the first and last completion
+ * (cold-start and possibly-truncated runs), as in the paper.
+ */
+double droppedMean(const std::vector<double>& durations);
+
+} // namespace jsmt
+
+#endif // JSMT_HARNESS_MULTIPROGRAM_H

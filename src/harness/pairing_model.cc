@@ -1,0 +1,163 @@
+#include "harness/pairing_model.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace jsmt {
+
+PairingFeatures
+PairingFeatures::fromRunResult(const RunResult& result)
+{
+    PairingFeatures features;
+    features.traceCacheMissPerKi =
+        result.perKiloInstr(EventId::kTraceCacheMiss);
+    features.l1dMissPerKi =
+        result.perKiloInstr(EventId::kL1dMiss);
+    features.l2MissPerKi = result.perKiloInstr(EventId::kL2Miss);
+    return features;
+}
+
+namespace {
+
+/**
+ * Solve the symmetric positive-definite system M x = v by Gaussian
+ * elimination with partial pivoting. Small (n <= ~8) systems only.
+ */
+std::vector<double>
+solve(std::vector<std::vector<double>> m, std::vector<double> v)
+{
+    const std::size_t n = v.size();
+    for (std::size_t col = 0; col < n; ++col) {
+        // Pivot.
+        std::size_t pivot = col;
+        for (std::size_t row = col + 1; row < n; ++row) {
+            if (std::abs(m[row][col]) > std::abs(m[pivot][col]))
+                pivot = row;
+        }
+        std::swap(m[col], m[pivot]);
+        std::swap(v[col], v[pivot]);
+        if (std::abs(m[col][col]) < 1e-12)
+            fatal("linear model: singular normal equations");
+        // Eliminate.
+        for (std::size_t row = col + 1; row < n; ++row) {
+            const double factor = m[row][col] / m[col][col];
+            for (std::size_t k = col; k < n; ++k)
+                m[row][k] -= factor * m[col][k];
+            v[row] -= factor * v[col];
+        }
+    }
+    std::vector<double> x(n, 0.0);
+    for (std::size_t row = n; row-- > 0;) {
+        double acc = v[row];
+        for (std::size_t k = row + 1; k < n; ++k)
+            acc -= m[row][k] * x[k];
+        x[row] = acc / m[row][row];
+    }
+    return x;
+}
+
+} // namespace
+
+void
+LinearModel::fit(const std::vector<std::vector<double>>& rows,
+                 const std::vector<double>& targets)
+{
+    if (rows.empty() || rows.size() != targets.size())
+        fatal("linear model: need one target per feature row");
+    const std::size_t width = rows.front().size();
+    for (const auto& row : rows) {
+        if (row.size() != width)
+            fatal("linear model: ragged feature rows");
+    }
+
+    // Augment with the intercept column; build the normal
+    // equations A^T A x = A^T y with a tiny ridge term.
+    const std::size_t n = width + 1;
+    std::vector<std::vector<double>> ata(
+        n, std::vector<double>(n, 0.0));
+    std::vector<double> aty(n, 0.0);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        std::vector<double> x = rows[r];
+        x.push_back(1.0);
+        for (std::size_t i = 0; i < n; ++i) {
+            aty[i] += x[i] * targets[r];
+            for (std::size_t j = 0; j < n; ++j)
+                ata[i][j] += x[i] * x[j];
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        ata[i][i] += 1e-9;
+
+    const std::vector<double> solution = solve(ata, aty);
+    _weights.assign(solution.begin(), solution.end() - 1);
+    _intercept = solution.back();
+    _fitted = true;
+}
+
+double
+LinearModel::predict(const std::vector<double>& features) const
+{
+    if (!_fitted)
+        fatal("linear model: predict before fit");
+    if (features.size() != _weights.size())
+        fatal("linear model: feature width mismatch");
+    double y = _intercept;
+    for (std::size_t i = 0; i < features.size(); ++i)
+        y += _weights[i] * features[i];
+    return y;
+}
+
+void
+PairingPredictor::addProgram(const std::string& name,
+                             const PairingFeatures& features)
+{
+    _features[name] = features;
+}
+
+bool
+PairingPredictor::hasProgram(const std::string& name) const
+{
+    return _features.count(name) > 0;
+}
+
+std::vector<double>
+PairingPredictor::pairFeatures(const std::string& a,
+                               const std::string& b) const
+{
+    const auto ia = _features.find(a);
+    const auto ib = _features.find(b);
+    if (ia == _features.end() || ib == _features.end())
+        fatal("pairing predictor: unknown program '" +
+              (ia == _features.end() ? a : b) + "'");
+    const PairingFeatures& fa = ia->second;
+    const PairingFeatures& fb = ib->second;
+    // Symmetric combination => predicted C_AB == C_BA.
+    return {fa.traceCacheMissPerKi + fb.traceCacheMissPerKi,
+            fa.l1dMissPerKi + fb.l1dMissPerKi,
+            fa.l2MissPerKi + fb.l2MissPerKi};
+}
+
+void
+PairingPredictor::train(const std::vector<PairResult>& measured)
+{
+    if (measured.empty())
+        fatal("pairing predictor: empty training set");
+    std::vector<std::vector<double>> rows;
+    std::vector<double> targets;
+    rows.reserve(measured.size());
+    for (const PairResult& pair : measured) {
+        rows.push_back(pairFeatures(pair.a, pair.b));
+        targets.push_back(pair.combinedSpeedup);
+    }
+    _model.fit(rows, targets);
+}
+
+double
+PairingPredictor::predict(const std::string& a,
+                          const std::string& b) const
+{
+    return _model.predict(pairFeatures(a, b));
+}
+
+} // namespace jsmt

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Pairing-performance prediction from solo counter profiles.
+ *
+ * The paper's §4.2/§5 (and its companion technical report, "Towards
+ * Pairing Java Applications on Multithreaded Processors") conclude
+ * that *trace-cache miss rate effectively predicts the pairing
+ * performance of Java applications* on Hyper-Threading processors.
+ * This module turns that finding into a usable tool: featurize each
+ * program from its solo PMU profile, fit a linear model of the
+ * combined speedup on a training set of measured pairs, and predict
+ * unmeasured combinations.
+ */
+
+#ifndef JSMT_HARNESS_PAIRING_MODEL_H
+#define JSMT_HARNESS_PAIRING_MODEL_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/run_result.h"
+#include "harness/multiprogram.h"
+
+namespace jsmt {
+
+/** Solo counter features of one program (per 1K instructions). */
+struct PairingFeatures
+{
+    double traceCacheMissPerKi = 0.0;
+    double l1dMissPerKi = 0.0;
+    double l2MissPerKi = 0.0;
+
+    /** Extract the features from a solo RunResult. */
+    static PairingFeatures fromRunResult(const RunResult& result);
+};
+
+/**
+ * Ordinary-least-squares linear model (normal equations with a
+ * ridge epsilon for stability). Self-contained: no external linear
+ * algebra dependency.
+ */
+class LinearModel
+{
+  public:
+    /**
+     * Fit y ≈ w·x + b.
+     * @param rows feature vectors (all the same width).
+     * @param targets observed values, one per row.
+     */
+    void fit(const std::vector<std::vector<double>>& rows,
+             const std::vector<double>& targets);
+
+    /** @return predicted value for @p features. */
+    double predict(const std::vector<double>& features) const;
+
+    /** @return learned weights (without the intercept). */
+    const std::vector<double>& weights() const { return _weights; }
+
+    /** @return learned intercept. */
+    double intercept() const { return _intercept; }
+
+    /** @return whether fit() has run. */
+    bool fitted() const { return _fitted; }
+
+  private:
+    std::vector<double> _weights;
+    double _intercept = 0.0;
+    bool _fitted = false;
+};
+
+/**
+ * Predicts combined speedups of program pairs from solo features.
+ *
+ * The pair feature vector is symmetric in (A, B) — sums of the two
+ * programs' rates — so the model automatically satisfies the
+ * reflective symmetry the paper observes in Figure 9.
+ */
+class PairingPredictor
+{
+  public:
+    /** Register a program's solo features. */
+    void addProgram(const std::string& name,
+                    const PairingFeatures& features);
+
+    /** @return whether @p name has registered features. */
+    bool hasProgram(const std::string& name) const;
+
+    /** Fit from measured pairs (each must have known programs). */
+    void train(const std::vector<PairResult>& measured);
+
+    /** @return predicted combined speedup of (a, b). */
+    double predict(const std::string& a,
+                   const std::string& b) const;
+
+    /**
+     * @return the model weight of each feature (trace-cache first).
+     * The paper's finding corresponds to the trace-cache weight
+     * dominating, with a negative sign.
+     */
+    const std::vector<double>& weights() const
+    {
+        return _model.weights();
+    }
+
+  private:
+    std::vector<double> pairFeatures(const std::string& a,
+                                     const std::string& b) const;
+
+    std::map<std::string, PairingFeatures> _features;
+    LinearModel _model;
+};
+
+} // namespace jsmt
+
+#endif // JSMT_HARNESS_PAIRING_MODEL_H

@@ -1,0 +1,60 @@
+#include "harness/solo.h"
+
+#include "common/log.h"
+
+namespace jsmt {
+
+RunResult
+measureSolo(const SystemConfig& config, const std::string& benchmark,
+            bool hyper_threading, const SoloOptions& options)
+{
+    SystemConfig cfg = config;
+    cfg.hyperThreading = hyper_threading;
+    Machine machine(cfg);
+    Simulation sim(machine);
+
+    WorkloadSpec spec;
+    spec.benchmark = benchmark;
+    spec.threads = options.threads;
+    spec.lengthScale = options.lengthScale;
+
+    Asid asid = 0;
+    if (options.warmup) {
+        JavaProcess& warm = sim.addProcess(spec);
+        asid = warm.asid();
+        const RunResult warm_result = sim.run();
+        if (!warm_result.allComplete)
+            fatal("measureSolo: warm-up run did not complete");
+    }
+
+    WorkloadSpec measured = spec;
+    measured.reuseAsid = asid;
+    sim.addProcess(measured);
+    RunResult result = sim.run();
+    if (!result.allComplete)
+        fatal("measureSolo: measured run did not complete");
+    return result;
+}
+
+double
+soloDurationCycles(const SystemConfig& config,
+                   const std::string& benchmark,
+                   bool hyper_threading, const SoloOptions& options)
+{
+    SystemConfig cfg = config;
+    cfg.hyperThreading = hyper_threading;
+    Machine machine(cfg);
+    Simulation sim(machine);
+
+    WorkloadSpec spec;
+    spec.benchmark = benchmark;
+    spec.threads = options.threads;
+    spec.lengthScale = options.lengthScale;
+    JavaProcess& process = sim.addProcess(spec);
+    const RunResult result = sim.run();
+    if (!result.allComplete)
+        fatal("soloDurationCycles: run did not complete");
+    return static_cast<double>(process.durationCycles());
+}
+
+} // namespace jsmt

@@ -1,0 +1,68 @@
+#include "harness/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/log.h"
+
+namespace jsmt {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : _headers(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != _headers.size())
+        panic("table row width mismatch");
+    _rows.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream& os) const
+{
+    std::vector<std::size_t> widths(_headers.size());
+    for (std::size_t c = 0; c < _headers.size(); ++c)
+        widths[c] = _headers[c].size();
+    for (const auto& row : _rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    const auto print_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size()) {
+                os << std::string(widths[c] - row[c].size() + 2,
+                                  ' ');
+            }
+        }
+        os << '\n';
+    };
+
+    print_row(_headers);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : _rows)
+        print_row(row);
+}
+
+std::string
+TextTable::fmt(double value, int precision)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+    return buffer;
+}
+
+std::string
+TextTable::fmt(std::uint64_t value)
+{
+    return std::to_string(value);
+}
+
+} // namespace jsmt

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Plain-text table formatting for bench/example output.
+ */
+
+#ifndef JSMT_HARNESS_TABLE_H
+#define JSMT_HARNESS_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace jsmt {
+
+/**
+ * Column-aligned text table.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Add a row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns and a separator line. */
+    void print(std::ostream& os) const;
+
+    /** Format a double with @p precision decimals. */
+    static std::string fmt(double value, int precision = 2);
+
+    /** Format an integer. */
+    static std::string fmt(std::uint64_t value);
+
+  private:
+    std::vector<std::string> _headers;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace jsmt
+
+#endif // JSMT_HARNESS_TABLE_H

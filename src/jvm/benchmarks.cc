@@ -1,0 +1,422 @@
+#include "jvm/benchmarks.h"
+
+#include <map>
+
+#include "common/log.h"
+
+namespace jsmt {
+
+namespace {
+
+/**
+ * Calibration intent (paper-facing, per benchmark):
+ *  - compress: tight LZW loops, streaming buffers + dictionary;
+ *    small code, moderately poor L1D behaviour.
+ *  - jess: rule matching; large branchy code with poor locality —
+ *    one of the three trace-cache-hungry "bad partners".
+ *  - db: index/shell sort over a small database; data-bound with a
+ *    large flat working set (highest L1D miss rate in Fig. 4 band);
+ *    window-size insensitive, so nearly unaffected by HT partition.
+ *  - javac: compiler passes; large code, allocation-heavy (GC),
+ *    "bad partner".
+ *  - mpegaudio: FP filter kernels; tiny footprints, high ILP —
+ *    hurt most by the static partition (Fig. 10 62% tail).
+ *  - jack: parser generator; the largest, most branch-dense code,
+ *    worst multiprogram partner (average combined speedup < 1).
+ *  - MolDyn: N-body; per-thread force arrays with cross-thread
+ *    reduction traffic (aggregate L1 working set grows with thread
+ *    count -> IPC collapse at 4+ threads, Fig. 12).
+ *  - MonteCarlo: independent paths, read-mostly shared data; flat
+ *    thread scaling.
+ *  - RayTracer: shared scene, per-thread row buffers; barrier per
+ *    row and scene-copy syscalls -> lowest dual-thread-mode share
+ *    and highest OS share in Table 2.
+ *  - PseudoJBB: warehouse-per-thread server; >1 MB aggregate
+ *    footprint (L2 contention under HT, Fig. 5) and very large JITed
+ *    code (ITLB pressure, Fig. 6).
+ */
+std::map<std::string, WorkloadProfile>
+buildRegistry()
+{
+    std::map<std::string, WorkloadProfile> reg;
+
+    {
+        WorkloadProfile p;
+        p.name = "compress";
+        p.uopsPerThread = 2'200'000;
+        p.defaultThreads = 1;
+        p.loadFrac = 0.27;
+        p.storeFrac = 0.12;
+        p.fpFrac = 0.02;
+        p.branchFrac = 0.13;
+        p.meanDepDist = 7.0;  // Software-pipelined streaming loops.
+        p.mispredictRate = 0.025;
+        p.codeLines = 420;
+        p.codeMeanRun = 6.0;
+        p.codeJumpLocal = 0.97;
+        p.codeLoopWindow = 64;
+        p.traceDiversity = 0.002;
+        p.privateBytes = 220 * 1024;
+        p.sharedBytes = 140 * 1024;
+        p.privateFrac = 0.5;
+        p.hotFrac = 0.96;
+        p.hotBytes = 1'536;
+        p.warmFrac = 0.03;
+        p.warmBytes = 48 * 1024;
+        p.sweepFrac = 0.45; // Streaming buffers: window-hungry MLP.
+        p.allocBytesPerUop = 0.05;
+        p.gcThresholdBytes = 96 * 1024;
+        p.gcUopsPerByte = 0.10;
+        p.syscallIntervalUops = 300'000;
+        reg.emplace(p.name, p.validate());
+    }
+    {
+        WorkloadProfile p;
+        p.name = "jess";
+        p.uopsPerThread = 1'600'000;
+        p.defaultThreads = 1;
+        p.loadFrac = 0.28;
+        p.storeFrac = 0.11;
+        p.fpFrac = 0.01;
+        p.branchFrac = 0.20;
+        p.meanDepDist = 3.2;
+        p.mispredictRate = 0.065;
+        p.codeLines = 1'200;
+        p.codeMeanRun = 3.5;
+        p.codeJumpLocal = 0.93;
+        p.codeLoopWindow = 220;
+        p.codeBytesPerLine = 64;
+        p.traceDiversity = 0.006;
+        p.privateBytes = 160 * 1024;
+        p.sharedBytes = 280 * 1024;
+        p.privateFrac = 0.55;
+        p.hotFrac = 0.962;
+        p.hotBytes = 1'536;
+        p.warmFrac = 0.025;
+        p.warmBytes = 56 * 1024;
+        p.sweepFrac = 0.08;
+        p.allocBytesPerUop = 0.20;
+        p.gcThresholdBytes = 128 * 1024;
+        p.gcUopsPerByte = 0.10;
+        p.syscallIntervalUops = 240'000;
+        reg.emplace(p.name, p.validate());
+    }
+    {
+        WorkloadProfile p;
+        p.name = "db";
+        p.uopsPerThread = 1'800'000;
+        p.defaultThreads = 1;
+        p.loadFrac = 0.34;
+        p.storeFrac = 0.09;
+        p.fpFrac = 0.0;
+        p.branchFrac = 0.17;
+        p.meanDepDist = 2.0; // Pointer chasing: chain-bound, so the
+                             // static window partition barely hurts.
+        p.mispredictRate = 0.055;
+        p.codeLines = 700;
+        p.codeMeanRun = 4.5;
+        p.codeJumpLocal = 0.95;
+        p.codeLoopWindow = 96;
+        p.traceDiversity = 0.004;
+        p.privateBytes = 64 * 1024;
+        p.sharedBytes = 720 * 1024;
+        p.privateFrac = 0.25;
+        p.hotFrac = 0.93;  // Flat reuse: highest L1D miss band.
+        p.hotBytes = 1'536;
+        p.warmFrac = 0.045;
+        p.warmBytes = 64 * 1024;
+        p.sweepFrac = 0.10;
+        p.allocBytesPerUop = 0.08;
+        p.gcThresholdBytes = 160 * 1024;
+        p.gcUopsPerByte = 0.10;
+        p.syscallIntervalUops = 280'000;
+        reg.emplace(p.name, p.validate());
+    }
+    {
+        WorkloadProfile p;
+        p.name = "javac";
+        p.uopsPerThread = 1'700'000;
+        p.defaultThreads = 1;
+        p.loadFrac = 0.27;
+        p.storeFrac = 0.13;
+        p.fpFrac = 0.0;
+        p.branchFrac = 0.19;
+        p.meanDepDist = 3.4;
+        p.mispredictRate = 0.06;
+        p.codeLines = 1'350;
+        p.codeMeanRun = 3.5;
+        p.codeJumpLocal = 0.92;
+        p.codeLoopWindow = 260;
+        p.codeBytesPerLine = 64;
+        p.traceDiversity = 0.006;
+        p.privateBytes = 200 * 1024;
+        p.sharedBytes = 320 * 1024;
+        p.privateFrac = 0.55;
+        p.hotFrac = 0.96;
+        p.hotBytes = 1'536;
+        p.warmFrac = 0.028;
+        p.warmBytes = 56 * 1024;
+        p.sweepFrac = 0.08;
+        p.allocBytesPerUop = 0.35; // Compiler allocates heavily.
+        p.gcThresholdBytes = 144 * 1024;
+        p.gcUopsPerByte = 0.12;
+        p.syscallIntervalUops = 200'000;
+        reg.emplace(p.name, p.validate());
+    }
+    {
+        WorkloadProfile p;
+        p.name = "mpegaudio";
+        p.uopsPerThread = 2'400'000;
+        p.defaultThreads = 1;
+        p.loadFrac = 0.24;
+        p.storeFrac = 0.08;
+        p.fpFrac = 0.28;
+        p.branchFrac = 0.10;
+        p.meanDepDist = 6.0; // Software-pipelined filter loops.
+        p.mispredictRate = 0.015;
+        p.codeLines = 520;
+        p.codeMeanRun = 8.0;
+        p.codeJumpLocal = 0.98;
+        p.codeLoopWindow = 56;
+        p.traceDiversity = 0.001;
+        p.privateBytes = 40 * 1024;
+        p.sharedBytes = 48 * 1024;
+        p.privateFrac = 0.7;
+        p.hotFrac = 0.988; // Almost everything is cache-resident.
+        p.hotBytes = 2'560;
+        p.warmFrac = 0.008;
+        p.warmBytes = 24 * 1024;
+        p.sweepFrac = 0.12;
+        p.allocBytesPerUop = 0.01;
+        p.gcThresholdBytes = 256 * 1024;
+        p.gcUopsPerByte = 0.10;
+        p.syscallIntervalUops = 400'000;
+        reg.emplace(p.name, p.validate());
+    }
+    {
+        WorkloadProfile p;
+        p.name = "jack";
+        p.uopsPerThread = 1'500'000;
+        p.defaultThreads = 1;
+        p.loadFrac = 0.28;
+        p.storeFrac = 0.12;
+        p.fpFrac = 0.0;
+        p.branchFrac = 0.22;
+        p.meanDepDist = 3.0;
+        p.mispredictRate = 0.075;
+        p.codeLines = 1'500;
+        p.codeMeanRun = 3.0;
+        p.codeJumpLocal = 0.90;
+        p.codeLoopWindow = 300;
+        p.codeBytesPerLine = 64;
+        p.traceDiversity = 0.010;
+        p.privateBytes = 140 * 1024;
+        p.sharedBytes = 220 * 1024;
+        p.privateFrac = 0.55;
+        p.hotFrac = 0.963;
+        p.hotBytes = 1'536;
+        p.warmFrac = 0.024;
+        p.warmBytes = 48 * 1024;
+        p.sweepFrac = 0.06;
+        p.allocBytesPerUop = 0.25;
+        p.gcThresholdBytes = 128 * 1024;
+        p.gcUopsPerByte = 0.10;
+        p.syscallIntervalUops = 180'000;
+        reg.emplace(p.name, p.validate());
+    }
+    {
+        WorkloadProfile p;
+        p.name = "MolDyn";
+        p.uopsPerThread = 1'600'000;
+        p.defaultThreads = 2;
+        p.loadFrac = 0.27;
+        p.storeFrac = 0.10;
+        p.fpFrac = 0.30;
+        p.branchFrac = 0.11;
+        p.meanDepDist = 4.5;
+        p.mispredictRate = 0.02;
+        p.codeLines = 620;
+        p.codeMeanRun = 7.0;
+        p.codeJumpLocal = 0.97;
+        p.codeLoopWindow = 64;
+        p.traceDiversity = 0.002;
+        p.privateBytes = 4'096; // Per-thread force arrays.
+        p.sharedBytes = 360 * 1024; // Particle positions.
+        p.privateFrac = 0.55;
+        p.hotFrac = 0.95;
+        p.hotBytes = 1'536;
+        p.warmFrac = 0.02;
+        p.warmBytes = 32 * 1024;
+        p.sweepFrac = 0.35;
+        p.crossThreadFrac = 0.35; // Force reduction across threads.
+        p.allocBytesPerUop = 0.01;
+        p.gcThresholdBytes = 256 * 1024;
+        p.gcUopsPerByte = 0.05;
+        p.barrierIntervalUops = 150'000; // Per-timestep barrier.
+        p.syscallIntervalUops = 250'000;
+        reg.emplace(p.name, p.validate());
+    }
+    {
+        WorkloadProfile p;
+        p.name = "MonteCarlo";
+        p.uopsPerThread = 1'800'000;
+        p.defaultThreads = 2;
+        p.loadFrac = 0.26;
+        p.storeFrac = 0.10;
+        p.fpFrac = 0.22;
+        p.branchFrac = 0.13;
+        p.meanDepDist = 4.2;
+        p.mispredictRate = 0.03;
+        p.codeLines = 820;
+        p.codeMeanRun = 5.0;
+        p.codeJumpLocal = 0.96;
+        p.codeLoopWindow = 96;
+        p.traceDiversity = 0.002;
+        p.privateBytes = 48 * 1024; // Independent path state.
+        p.sharedBytes = 520 * 1024; // Rate data, read-mostly.
+        p.privateFrac = 0.6;
+        p.hotFrac = 0.97;
+        p.hotBytes = 1'536;
+        p.warmFrac = 0.022;
+        p.warmBytes = 48 * 1024;
+        p.sweepFrac = 0.30;
+        p.crossThreadFrac = 0.0;
+        p.allocBytesPerUop = 0.08;
+        p.gcThresholdBytes = 192 * 1024;
+        p.gcUopsPerByte = 0.05;
+        p.barrierIntervalUops = 600'000; // Only coarse phases.
+        p.syscallIntervalUops = 300'000;
+        reg.emplace(p.name, p.validate());
+    }
+    {
+        WorkloadProfile p;
+        p.name = "RayTracer";
+        p.uopsPerThread = 1'400'000;
+        p.defaultThreads = 2;
+        p.loadFrac = 0.29;
+        p.storeFrac = 0.11;
+        p.fpFrac = 0.24;
+        p.branchFrac = 0.13;
+        p.meanDepDist = 4.0;
+        p.mispredictRate = 0.035;
+        p.codeLines = 700;
+        p.codeMeanRun = 4.5;
+        p.codeJumpLocal = 0.95;
+        p.codeLoopWindow = 128;
+        p.traceDiversity = 0.001;
+        p.privateBytes = 72 * 1024; // Per-thread scene copy + rows.
+        p.sharedBytes = 384 * 1024; // Sphere data.
+        p.privateFrac = 0.55;
+        p.hotFrac = 0.965;
+        p.hotBytes = 1'536;
+        p.warmFrac = 0.028;
+        p.warmBytes = 56 * 1024;
+        p.sweepFrac = 0.25;
+        p.crossThreadFrac = 0.0;
+        p.allocBytesPerUop = 0.10;
+        p.gcThresholdBytes = 160 * 1024;
+        p.gcUopsPerByte = 0.05;
+        // Row barrier + scene-copy syscalls: the poor-parallelism,
+        // OS-heavy entry in Table 2.
+        p.barrierIntervalUops = 35'000;
+        p.syscallIntervalUops = 80'000;
+        p.syscallUops = 500;
+        reg.emplace(p.name, p.validate());
+    }
+    {
+        WorkloadProfile p;
+        p.name = "PseudoJBB";
+        p.uopsPerThread = 1'500'000;
+        p.defaultThreads = 2;
+        p.loadFrac = 0.30;
+        p.storeFrac = 0.12;
+        p.fpFrac = 0.02;
+        p.branchFrac = 0.18;
+        p.meanDepDist = 3.2;
+        p.mispredictRate = 0.05;
+        p.codeLines = 780; // Very large JITed server code.
+        p.codeMeanRun = 3.5;
+        p.codeJumpLocal = 0.985;
+        p.codeLoopWindow = 96;
+        p.codeBytesPerLine = 256; // Sparse JITed code.
+        p.traceDiversity = 0.008;
+        p.privateBytes = 560 * 1024; // Warehouse per thread.
+        p.sharedBytes = 384 * 1024;
+        p.privateFrac = 0.7;
+        p.hotFrac = 0.935;
+        p.hotBytes = 1'536;
+        p.warmFrac = 0.03;
+        p.warmBytes = 96 * 1024;
+        p.sweepFrac = 0.02;
+        p.crossThreadFrac = 0.02;
+        p.allocBytesPerUop = 0.20;
+        p.gcThresholdBytes = 320 * 1024;
+        p.gcUopsPerByte = 0.05;
+        p.monitorIntervalUops = 200'000;
+        p.monitorHoldUops = 350;
+        p.syscallIntervalUops = 120'000;
+        reg.emplace(p.name, p.validate());
+    }
+    return reg;
+}
+
+const std::map<std::string, WorkloadProfile>&
+registry()
+{
+    static const std::map<std::string, WorkloadProfile> reg =
+        buildRegistry();
+    return reg;
+}
+
+} // namespace
+
+const std::vector<std::string>&
+benchmarkNames()
+{
+    static const std::vector<std::string> names = {
+        "compress", "jess",       "db",        "javac",
+        "mpegaudio", "jack",      "MolDyn",    "MonteCarlo",
+        "RayTracer", "PseudoJBB",
+    };
+    return names;
+}
+
+const std::vector<std::string>&
+singleThreadedNames()
+{
+    static const std::vector<std::string> names = {
+        "compress", "jess",   "db",         "javac",    "mpegaudio",
+        "jack",     "MolDyn", "MonteCarlo", "RayTracer",
+    };
+    return names;
+}
+
+const std::vector<std::string>&
+multiThreadedNames()
+{
+    static const std::vector<std::string> names = {
+        "MolDyn",
+        "MonteCarlo",
+        "RayTracer",
+        "PseudoJBB",
+    };
+    return names;
+}
+
+const WorkloadProfile&
+benchmarkProfile(const std::string& name)
+{
+    const auto& reg = registry();
+    const auto it = reg.find(name);
+    if (it == reg.end())
+        fatal("unknown benchmark '" + name + "'");
+    return it->second;
+}
+
+bool
+isBenchmark(const std::string& name)
+{
+    return registry().count(name) > 0;
+}
+
+} // namespace jsmt

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Registry of the ten Java benchmarks of the paper's Table 1.
+ *
+ * Six single-threaded SPECjvm98 programs (compress, jess, db, javac,
+ * mpegaudio, jack), three Java Grande Forum multithreaded kernels
+ * (MolDyn, MonteCarlo, RayTracer) and PseudoJBB (the fixed-work
+ * SPECjbb2000 variant). Profiles are synthetic statistical stand-ins
+ * (see profile.h); the parameter choices and their calibration
+ * targets are documented inline and in EXPERIMENTS.md.
+ */
+
+#ifndef JSMT_JVM_BENCHMARKS_H
+#define JSMT_JVM_BENCHMARKS_H
+
+#include <string>
+#include <vector>
+
+#include "jvm/profile.h"
+
+namespace jsmt {
+
+/** @return names of all ten benchmarks, Table 1 order. */
+const std::vector<std::string>& benchmarkNames();
+
+/**
+ * @return the nine programs usable single-threaded (SPECjvm98 plus
+ * the three JGF kernels with one thread), the set crossed in the
+ * paper's multiprogrammed experiments (§4.2, §4.3).
+ */
+const std::vector<std::string>& singleThreadedNames();
+
+/** @return the four multithreaded benchmarks (§4.1, §4.4). */
+const std::vector<std::string>& multiThreadedNames();
+
+/** @return the profile for @p name; fatal() if unknown. */
+const WorkloadProfile& benchmarkProfile(const std::string& name);
+
+/** @return whether @p name is a registered benchmark. */
+bool isBenchmark(const std::string& name);
+
+} // namespace jsmt
+
+#endif // JSMT_JVM_BENCHMARKS_H

@@ -1,0 +1,88 @@
+#include "jvm/data_model.h"
+
+#include <algorithm>
+
+namespace jsmt {
+
+namespace {
+
+std::uint64_t
+roundUpToPage(std::uint64_t bytes)
+{
+    constexpr std::uint64_t kPage = 4096;
+    return (bytes + kPage - 1) & ~(kPage - 1);
+}
+
+} // namespace
+
+DataModel::DataModel(const WorkloadProfile& profile, Rng rng,
+                     std::uint32_t thread_index,
+                     std::uint32_t num_threads)
+    : _profile(profile),
+      _rng(std::move(rng)),
+      _threadIndex(thread_index),
+      _numThreads(std::max(1u, num_threads)),
+      _privateStride(roundUpToPage(profile.privateBytes))
+{
+}
+
+Addr
+DataModel::privateBaseOf(std::uint32_t index) const
+{
+    return kPrivateBase +
+           static_cast<Addr>(index) * _privateStride;
+}
+
+Addr
+DataModel::regionAddr(Addr base, std::uint64_t footprint,
+                      std::uint64_t hot_bytes)
+{
+    // Three-tier reuse model: hot (cache-resident), warm
+    // (L2-resident), cold (whole footprint).
+    const double r = _rng.uniform();
+    std::uint64_t span;
+    if (r < _profile.hotFrac) {
+        span = std::min(hot_bytes, footprint);
+    } else if (r < _profile.hotFrac + _profile.warmFrac) {
+        span = std::min(_profile.warmBytes, footprint);
+    } else {
+        span = footprint;
+    }
+    return (base + _rng.below(span)) & ~Addr{7};
+}
+
+Addr
+DataModel::nextAddr()
+{
+    if (_rng.chance(_profile.privateFrac)) {
+        // Private-region access, possibly to another thread's data
+        // (reduction/communication traffic). Cross-thread accesses
+        // span the peer's whole region — no reuse tiers — so the
+        // aggregate working set grows with the thread count.
+        if (_numThreads > 1 &&
+            _rng.chance(_profile.crossThreadFrac)) {
+            std::uint32_t owner = static_cast<std::uint32_t>(
+                _rng.below(_numThreads - 1));
+            if (owner >= _threadIndex)
+                ++owner;
+            return (privateBaseOf(owner) +
+                    _rng.below(_profile.privateBytes)) &
+                   ~Addr{7};
+        }
+        return regionAddr(privateBaseOf(_threadIndex),
+                          _profile.privateBytes,
+                          _profile.hotBytes);
+    }
+
+    // Shared-region access: phase-aligned sweep or tiered random.
+    if (_rng.chance(_profile.sweepFrac)) {
+        const Addr addr =
+            kSharedBase + (_sweepPos % _profile.sharedBytes);
+        _sweepPos += _profile.sweepStride;
+        return addr & ~Addr{7};
+    }
+    return regionAddr(kSharedBase, _profile.sharedBytes,
+                      _profile.hotBytes);
+}
+
+} // namespace jsmt

@@ -1,0 +1,37 @@
+#include "jvm/heap.h"
+
+#include "common/log.h"
+
+namespace jsmt {
+
+Heap::Heap(std::uint64_t gc_threshold_bytes,
+           std::uint64_t heap_limit_bytes)
+    : _threshold(gc_threshold_bytes), _limit(heap_limit_bytes)
+{
+    if (_threshold == 0)
+        fatal("heap: GC threshold must be positive");
+    if (_threshold > _limit)
+        fatal("heap: GC threshold exceeds heap limit");
+}
+
+bool
+Heap::allocate(std::uint64_t bytes)
+{
+    _sinceGc += bytes;
+    _total += bytes;
+    if (!_gcPending && _sinceGc >= _threshold) {
+        _gcPending = true;
+        ++_gcCount;
+        return true;
+    }
+    return false;
+}
+
+void
+Heap::collected()
+{
+    _sinceGc = 0;
+    _gcPending = false;
+}
+
+} // namespace jsmt

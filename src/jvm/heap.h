@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Heap allocation accounting and garbage-collection triggering.
+ *
+ * Models the generational behaviour relevant to the paper: mutator
+ * threads allocate at a profile-specific rate; when allocation since
+ * the last collection crosses the young-generation threshold, a
+ * stop-the-world collection runs on the JVM's dedicated collector
+ * thread (the helper thread the paper's introduction highlights).
+ * The heap ceiling matches the paper's -Xmx512m configuration.
+ */
+
+#ifndef JSMT_JVM_HEAP_H
+#define JSMT_JVM_HEAP_H
+
+#include <cstdint>
+
+namespace jsmt {
+
+/** Per-process heap accounting. */
+class Heap
+{
+  public:
+    /**
+     * @param gc_threshold_bytes allocation volume that triggers a
+     *        collection.
+     * @param heap_limit_bytes hard heap size (512 MB as in the
+     *        paper's JVM configuration).
+     */
+    explicit Heap(std::uint64_t gc_threshold_bytes,
+                  std::uint64_t heap_limit_bytes = 512ull << 20);
+
+    /**
+     * Account @p bytes of allocation.
+     * @return true when this allocation crossed the GC threshold
+     *         (the caller should start a collection).
+     */
+    bool allocate(std::uint64_t bytes);
+
+    /** Mark a collection complete; resets the young-gen counter. */
+    void collected();
+
+    /** @return bytes allocated since the last collection. */
+    std::uint64_t sinceGc() const { return _sinceGc; }
+
+    /** @return lifetime allocated bytes. */
+    std::uint64_t totalAllocated() const { return _total; }
+
+    /** @return number of collections triggered. */
+    std::uint64_t gcCount() const { return _gcCount; }
+
+    /** @return the collection threshold in bytes. */
+    std::uint64_t threshold() const { return _threshold; }
+
+    /** @return the configured heap ceiling in bytes. */
+    std::uint64_t limit() const { return _limit; }
+
+  private:
+    std::uint64_t _threshold;
+    std::uint64_t _limit;
+    std::uint64_t _sinceGc = 0;
+    std::uint64_t _total = 0;
+    std::uint64_t _gcCount = 0;
+    bool _gcPending = false;
+};
+
+} // namespace jsmt
+
+#endif // JSMT_JVM_HEAP_H

@@ -1,0 +1,177 @@
+#include "jvm/process.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace jsmt {
+
+JavaProcess::JavaProcess(ProcessId pid, Asid asid,
+                         const WorkloadProfile& profile,
+                         std::uint32_t num_threads,
+                         double length_scale, std::uint64_t seed,
+                         Scheduler& scheduler, Pmu& pmu)
+    : _pid(pid),
+      _asid(asid),
+      _profile(profile),
+      _numAppThreads(num_threads),
+      _scheduler(scheduler),
+      _pmu(pmu),
+      _heap(profile.gcThresholdBytes)
+{
+    if (asid == kKernelAsid)
+        fatal("process: asid 0 is reserved for the kernel");
+    if (num_threads == 0)
+        fatal("process: needs at least one application thread");
+    _profile.validate();
+    if (length_scale <= 0.0)
+        fatal("process: length scale must be positive");
+
+    const auto quota = static_cast<std::uint64_t>(
+        std::max(1.0, std::round(static_cast<double>(
+                          profile.uopsPerThread) *
+                      length_scale)));
+
+    Rng seeder(seed ^ (static_cast<std::uint64_t>(asid) << 32));
+    const ThreadId base_tid = pid * 64;
+    for (std::uint32_t t = 0; t < num_threads; ++t) {
+        _threads.push_back(std::make_unique<JavaThread>(
+            base_tid + t, *this, ThreadKind::kApp, t, quota,
+            seeder.fork()));
+    }
+    // The JVM's collector helper thread, dormant until triggered.
+    _threads.push_back(std::make_unique<JavaThread>(
+        base_tid + num_threads, *this, ThreadKind::kCollector, 0,
+        0, seeder.fork()));
+}
+
+void
+JavaProcess::launch(Cycle now)
+{
+    _launchCycle = now;
+    for (auto& thread : _threads)
+        _scheduler.addThread(thread.get());
+}
+
+bool
+JavaProcess::arriveBarrier(JavaThread& thread)
+{
+    const std::uint32_t participants =
+        _numAppThreads - _generationDoneThreads;
+    if (_barrierWaiters.size() + 1 >= participants) {
+        // Last arriver: release everyone.
+        for (JavaThread* waiter : _barrierWaiters)
+            _scheduler.wake(waiter);
+        _barrierWaiters.clear();
+        return true;
+    }
+    _barrierWaiters.push_back(&thread);
+    return false;
+}
+
+void
+JavaProcess::releaseBarrierIfComplete()
+{
+    const std::uint32_t participants =
+        _numAppThreads - _generationDoneThreads;
+    if (!_barrierWaiters.empty() &&
+        _barrierWaiters.size() >= participants) {
+        for (JavaThread* waiter : _barrierWaiters)
+            _scheduler.wake(waiter);
+        _barrierWaiters.clear();
+    }
+}
+
+bool
+JavaProcess::monitorAcquire(JavaThread& thread)
+{
+    if (_monitorHolder == nullptr) {
+        _monitorHolder = &thread;
+        return true;
+    }
+    _pmu.record(EventId::kMonitorContention, 0);
+    _monitorWaiters.push_back(&thread);
+    return false;
+}
+
+void
+JavaProcess::monitorRelease(JavaThread& thread)
+{
+    if (_monitorHolder != &thread)
+        panic("monitor released by a thread that does not hold it");
+    if (_monitorWaiters.empty()) {
+        _monitorHolder = nullptr;
+        return;
+    }
+    JavaThread* next = _monitorWaiters.front();
+    _monitorWaiters.pop_front();
+    _monitorHolder = next;
+    next->grantMonitor();
+    _scheduler.wake(next);
+}
+
+bool
+JavaProcess::allocate(std::uint64_t bytes)
+{
+    _pmu.record(EventId::kAllocBytes, 0, bytes);
+    if (!_heap.allocate(bytes))
+        return false;
+
+    // Stop-the-world collection: halt every runnable app thread
+    // (including the allocator) and hand the machine to the
+    // collector.
+    _pmu.record(EventId::kGcRuns, 0);
+    _gcInProgress = true;
+    for (std::uint32_t t = 0; t < _numAppThreads; ++t) {
+        JavaThread& app = *_threads[t];
+        if (app.state() == ThreadState::kRunnable)
+            app.block(BlockReason::kGc);
+    }
+    JavaThread& gc = collector();
+    const auto work = static_cast<std::uint64_t>(
+        static_cast<double>(_heap.threshold()) *
+        _profile.gcUopsPerByte);
+    gc.startCollection(work);
+    _scheduler.wake(&gc);
+    return true;
+}
+
+void
+JavaProcess::collectionFinished()
+{
+    _heap.collected();
+    _gcInProgress = false;
+    for (std::uint32_t t = 0; t < _numAppThreads; ++t) {
+        JavaThread& app = *_threads[t];
+        if (app.state() == ThreadState::kBlocked &&
+            app.blockReason() == BlockReason::kGc) {
+            _scheduler.wake(&app);
+        }
+    }
+}
+
+void
+JavaProcess::noteGenerationDone(JavaThread& thread, Cycle now)
+{
+    (void)thread;
+    (void)now;
+    ++_generationDoneThreads;
+    releaseBarrierIfComplete();
+}
+
+void
+JavaProcess::noteThreadDrained(JavaThread& thread, Cycle now)
+{
+    if (thread.kind() != ThreadKind::kApp)
+        return;
+    ++_drainedAppThreads;
+    if (_drainedAppThreads == _numAppThreads && !_complete) {
+        _complete = true;
+        _completionCycle = now;
+        // The JVM exits: the collector produces no more work.
+        collector().setState(ThreadState::kDone);
+    }
+}
+
+} // namespace jsmt

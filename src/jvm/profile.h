@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Statistical workload profiles.
+ *
+ * Real Java benchmarks are unavailable in this environment (no 2004
+ * JVM, no SPECjvm98/JGF/SPECjbb binaries), so each benchmark is
+ * described by the statistical properties that determine its
+ * microarchitectural behaviour: µop mix, instruction-level
+ * parallelism, code/data footprints and locality, allocation rate,
+ * synchronization and OS interaction. The synthetic µop streams
+ * generated from a profile exercise exactly the same simulator code
+ * paths a real trace would. Calibration targets come from the paper's
+ * Table 1/2 and Figures 1-12 (see EXPERIMENTS.md).
+ */
+
+#ifndef JSMT_JVM_PROFILE_H
+#define JSMT_JVM_PROFILE_H
+
+#include <cstdint>
+#include <string>
+
+namespace jsmt {
+
+/**
+ * Statistical description of one Java benchmark.
+ *
+ * All rates are per µop unless stated otherwise; footprints are in
+ * bytes; code footprint is in 64-byte trace lines.
+ */
+struct WorkloadProfile
+{
+    std::string name = "unnamed";
+
+    /** @name Length */
+    ///@{
+    /** User-mode µops each application thread executes (at scale 1). */
+    std::uint64_t uopsPerThread = 1'000'000;
+    /** Default application thread count (1 = single-threaded). */
+    std::uint32_t defaultThreads = 1;
+    ///@}
+
+    /** @name µop mix (fractions of all µops; remainder is ALU) */
+    ///@{
+    double loadFrac = 0.25;
+    double storeFrac = 0.10;
+    double fpFrac = 0.05;
+    double branchFrac = 0.16;
+    ///@}
+
+    /** @name Instruction-level parallelism and branches */
+    ///@{
+    /** Mean register-dependence distance (bigger = more ILP). */
+    double meanDepDist = 4.0;
+    /** Probability a branch direction is mispredicted. */
+    double mispredictRate = 0.04;
+    ///@}
+
+    /** @name Code behaviour */
+    ///@{
+    /** Code footprint in 64-byte trace lines (6 µops per line). */
+    std::uint32_t codeLines = 400;
+    /** Mean sequential run length before a taken jump, in lines. */
+    double codeMeanRun = 4.0;
+    /** Probability a jump stays inside the loop window. */
+    double codeJumpLocal = 0.92;
+    /** Loop window size in lines (instantaneous code working set). */
+    std::uint32_t codeLoopWindow = 64;
+    /**
+     * Address stride between consecutive trace lines. 64 models
+     * dense statically-compiled-style code; larger values model
+     * sparse JITed code (methods scattered across many pages), which
+     * raises ITLB pressure without changing trace-cache demand.
+     */
+    std::uint32_t codeBytesPerLine = 64;
+    /**
+     * Probability a trace-cache lookup finds a stale trace for the
+     * line and rebuilds it. Models path-dependent traces: the trace
+     * cache stores decoded *paths*, so data-dependent branch
+     * variation invalidates traces even when the code is resident.
+     */
+    double traceDiversity = 0.003;
+    ///@}
+
+    /** @name Data behaviour */
+    ///@{
+    /** Per-thread private footprint (stack, TLABs, thread arrays). */
+    std::uint64_t privateBytes = 64 * 1024;
+    /** Process-shared heap footprint. */
+    std::uint64_t sharedBytes = 256 * 1024;
+    /** Fraction of data accesses going to the private region. */
+    double privateFrac = 0.6;
+    /** Fraction of accesses hitting the hot subset of a region. */
+    double hotFrac = 0.93;
+    /** Size of the hot subset within each region. */
+    std::uint64_t hotBytes = 3 * 1024;
+    /** Fraction of accesses hitting the warm subset of a region. */
+    double warmFrac = 0.05;
+    /** Size of the warm subset within each region. */
+    std::uint64_t warmBytes = 48 * 1024;
+    /**
+     * Fraction of shared-region accesses that stream sequentially
+     * (phase-aligned across threads; drives constructive L2 sharing
+     * under SMT vs. re-fetch under time slicing).
+     */
+    double sweepFrac = 0.3;
+    /** Stream stride in bytes (8 = one new line per 8 accesses). */
+    std::uint32_t sweepStride = 8;
+    /**
+     * Fraction of private-region accesses that target a random
+     * *other* thread's private region (reductions/communication);
+     * makes the aggregate working set grow with thread count.
+     */
+    double crossThreadFrac = 0.0;
+    ///@}
+
+    /** @name JVM behaviour */
+    ///@{
+    /** Heap allocation rate in bytes per user µop. */
+    double allocBytesPerUop = 0.02;
+    /** Young-generation size: GC triggers at this many bytes. */
+    std::uint64_t gcThresholdBytes = 8 * 1024 * 1024;
+    /** Collector work per collected byte, in µops. */
+    double gcUopsPerByte = 0.05;
+    ///@}
+
+    /** @name Synchronization and OS interaction */
+    ///@{
+    /** µops between barrier synchronizations (0 = none). */
+    std::uint64_t barrierIntervalUops = 0;
+    /** µops between contended-monitor critical sections (0 = none). */
+    std::uint64_t monitorIntervalUops = 0;
+    /** Length of a monitor critical section in µops. */
+    std::uint64_t monitorHoldUops = 400;
+    /** µops between system calls (0 = none). */
+    std::uint64_t syscallIntervalUops = 0;
+    /** Kernel µops per system call. */
+    std::uint32_t syscallUops = 600;
+    ///@}
+
+    /**
+     * Validate invariants (fractions in range, non-zero footprints).
+     * Calls fatal() on violation; returns *this for chaining.
+     */
+    const WorkloadProfile& validate() const;
+};
+
+/**
+ * Profile of kernel-mode execution (scheduler paths, syscall bodies,
+ * page-fault handling): large flat code footprint, poor locality,
+ * low ILP — matching the OS behaviour reported by Redstone et al.
+ */
+WorkloadProfile kernelProfile();
+
+} // namespace jsmt
+
+#endif // JSMT_JVM_PROFILE_H

@@ -1,0 +1,98 @@
+#include "os/scheduler.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace jsmt {
+
+Scheduler::Scheduler(const OsConfig& config, Pmu& pmu)
+    : _config(config), _pmu(pmu)
+{
+    if (config.quantumCycles == 0)
+        fatal("scheduler: quantum must be positive");
+}
+
+void
+Scheduler::setNumContexts(std::uint32_t n)
+{
+    if (n == 0 || n > kNumContexts)
+        fatal("scheduler: context count must be 1.." +
+              std::to_string(kNumContexts));
+    _numContexts = n;
+}
+
+void
+Scheduler::addThread(SoftwareThread* thread)
+{
+    if (thread->state() == ThreadState::kRunnable)
+        _runQueue.push_back(thread);
+}
+
+void
+Scheduler::wake(SoftwareThread* thread)
+{
+    if (thread->state() != ThreadState::kBlocked)
+        return;
+    thread->setState(ThreadState::kRunnable);
+    // A thread still occupying a context needs no queue entry.
+    for (ContextId ctx = 0; ctx < kNumContexts; ++ctx) {
+        if (_current[ctx] == thread)
+            return;
+    }
+    _runQueue.push_back(thread);
+}
+
+void
+Scheduler::dispatch(ContextId ctx, Cycle now)
+{
+    SoftwareThread* next = _runQueue.front();
+    _runQueue.pop_front();
+    _current[ctx] = next;
+    _quantumEnd[ctx] = now + _config.quantumCycles;
+    _pmu.record(EventId::kContextSwitches, ctx);
+    next->addKernelWork(_config.contextSwitchUops);
+}
+
+void
+Scheduler::tick(Cycle now)
+{
+    for (ContextId ctx = 0; ctx < _numContexts; ++ctx) {
+        SoftwareThread* cur = _current[ctx];
+
+        // Lazily deschedule threads that blocked or finished.
+        if (cur && cur->state() != ThreadState::kRunnable) {
+            _current[ctx] = nullptr;
+            cur = nullptr;
+        }
+
+        if (!cur) {
+            if (!_runQueue.empty())
+                dispatch(ctx, now);
+            continue;
+        }
+
+        // Timer-driven preemption at quantum expiry.
+        if (now >= _quantumEnd[ctx]) {
+            _pmu.record(EventId::kTimerTicks, ctx);
+            cur->addKernelWork(_config.timerTickUops);
+            if (!_runQueue.empty()) {
+                _runQueue.push_back(cur);
+                _current[ctx] = nullptr;
+                dispatch(ctx, now);
+            } else {
+                _quantumEnd[ctx] = now + _config.quantumCycles;
+            }
+        }
+    }
+}
+
+void
+Scheduler::reset()
+{
+    _runQueue.clear();
+    _current.fill(nullptr);
+    _quantumEnd.fill(0);
+}
+
+} // namespace jsmt

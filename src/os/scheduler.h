@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Operating-system scheduler model.
+ *
+ * Models the relevant behaviour of the paper's RedHat Linux 9 in
+ * single-user mode: a round-robin run queue multiplexing software
+ * threads onto one (HT off) or two (HT on) logical CPUs, timer-driven
+ * preemption, and kernel-mode work charged for every tick and context
+ * switch. The quantum is scaled down with the synthetic benchmark
+ * lengths so scheduling happens at the same per-instruction rate as
+ * on the real machine (see DESIGN.md).
+ */
+
+#ifndef JSMT_OS_SCHEDULER_H
+#define JSMT_OS_SCHEDULER_H
+
+#include <array>
+#include <cstdint>
+#include <deque>
+
+#include "common/types.h"
+#include "os/software_thread.h"
+#include "pmu/pmu.h"
+
+namespace jsmt {
+
+/** Operating-system model parameters. */
+struct OsConfig
+{
+    /** Scheduling quantum in cycles (scaled; see DESIGN.md). */
+    Cycle quantumCycles = 60'000;
+    /** Kernel µops charged to the incoming thread per dispatch. */
+    std::uint32_t contextSwitchUops = 350;
+    /** Kernel µops charged per timer tick. */
+    std::uint32_t timerTickUops = 40;
+};
+
+/**
+ * Round-robin scheduler over the machine's hardware contexts.
+ *
+ * The core reads the active thread per context each cycle; blocking
+ * and completion are discovered lazily on the next tick, costing one
+ * cycle of latency, which is far below the modelled kernel overheads.
+ */
+class Scheduler
+{
+  public:
+    Scheduler(const OsConfig& config, Pmu& pmu);
+
+    /** Use 1 (HT disabled) or 2 (HT enabled) logical CPUs. */
+    void setNumContexts(std::uint32_t n);
+
+    /** @return number of logical CPUs in use. */
+    std::uint32_t numContexts() const { return _numContexts; }
+
+    /** Admit a thread; queued immediately if runnable. */
+    void addThread(SoftwareThread* thread);
+
+    /** Move a blocked thread to the run queue. */
+    void wake(SoftwareThread* thread);
+
+    /** Per-cycle scheduling: deschedule, dispatch, preempt. */
+    void tick(Cycle now);
+
+    /** @return thread currently on context @p ctx (may be null). */
+    SoftwareThread*
+    active(ContextId ctx) const
+    {
+        return _current[ctx];
+    }
+
+    /** @return number of threads waiting in the run queue. */
+    std::size_t runQueueDepth() const { return _runQueue.size(); }
+
+    /** Remove all threads (between harness runs). */
+    void reset();
+
+    /** @return OS configuration. */
+    const OsConfig& config() const { return _config; }
+
+  private:
+    void dispatch(ContextId ctx, Cycle now);
+
+    OsConfig _config;
+    Pmu& _pmu;
+    std::uint32_t _numContexts = kNumContexts;
+    std::deque<SoftwareThread*> _runQueue;
+    std::array<SoftwareThread*, kNumContexts> _current{};
+    std::array<Cycle, kNumContexts> _quantumEnd{};
+};
+
+} // namespace jsmt
+
+#endif // JSMT_OS_SCHEDULER_H

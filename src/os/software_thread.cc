@@ -1,0 +1,18 @@
+#include "os/software_thread.h"
+
+namespace jsmt {
+
+SoftwareThread::SoftwareThread(ThreadId id, Asid asid)
+    : _id(id), _asid(asid)
+{
+}
+
+void
+SoftwareThread::onRetire(const Uop& uop, Cycle now)
+{
+    (void)uop;
+    (void)now;
+    ++_retiredUops;
+}
+
+} // namespace jsmt

@@ -1,0 +1,81 @@
+#include "pmu/abyss.h"
+
+#include <string>
+
+#include "common/log.h"
+
+namespace jsmt {
+
+Abyss::Abyss(Pmu& pmu) : _pmu(pmu)
+{
+}
+
+std::vector<EventId>
+Abyss::select(const std::vector<std::string>& names)
+{
+    std::vector<EventId> events;
+    events.reserve(names.size());
+    for (const std::string& name : names) {
+        const auto id = eventByName(name);
+        if (!id)
+            fatal("abyss: unknown event '" + name + "'");
+        events.push_back(*id);
+    }
+    select(events);
+    return events;
+}
+
+void
+Abyss::select(const std::vector<EventId>& events)
+{
+    if (_active)
+        fatal("abyss: cannot re-select during an active session");
+    if (events.size() > maxEvents()) {
+        fatal("abyss: " + std::to_string(events.size()) +
+              " events exceed the " + std::to_string(maxEvents()) +
+              "-event capacity of the counter file");
+    }
+    _selected = events;
+}
+
+void
+Abyss::begin()
+{
+    if (_active)
+        fatal("abyss: session already active");
+    std::size_t counter = 0;
+    for (EventId event : _selected) {
+        for (ContextId ctx = 0; ctx < kNumContexts; ++ctx) {
+            _pmu.configure(counter++,
+                           CounterConfig{event, CpuQualifier::kSingle,
+                                         ctx});
+        }
+    }
+    _active = true;
+}
+
+std::vector<AbyssReading>
+Abyss::end()
+{
+    if (!_active)
+        fatal("abyss: no active session");
+    std::vector<AbyssReading> report;
+    report.reserve(_selected.size());
+    std::size_t counter = 0;
+    for (EventId event : _selected) {
+        AbyssReading reading;
+        reading.event = event;
+        reading.name = std::string(eventName(event));
+        for (ContextId ctx = 0; ctx < kNumContexts; ++ctx) {
+            _pmu.stop(counter);
+            reading.perContext[ctx] = _pmu.read(counter);
+            reading.total += reading.perContext[ctx];
+            ++counter;
+        }
+        report.push_back(reading);
+    }
+    _active = false;
+    return report;
+}
+
+} // namespace jsmt

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Abyss: a Brink & Abyss-style measurement harness over the PMU.
+ *
+ * The paper reads every number through Sprunt's Brink & Abyss tool,
+ * which programs Pentium 4 counters from a textual event list and
+ * reports deltas around a measured region. Abyss reproduces that
+ * workflow: name the events, begin a session, run the workload,
+ * end the session, read a report.
+ */
+
+#ifndef JSMT_PMU_ABYSS_H
+#define JSMT_PMU_ABYSS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "pmu/pmu.h"
+
+namespace jsmt {
+
+/** One measured event in an Abyss report. */
+struct AbyssReading
+{
+    EventId event;
+    std::string name;
+    /** Count per logical CPU over the measured region. */
+    std::array<std::uint64_t, kNumContexts> perContext{};
+    /** Count summed over both logical CPUs. */
+    std::uint64_t total = 0;
+};
+
+/**
+ * Session-oriented counter harness.
+ *
+ * Usage:
+ * @code
+ *   Abyss abyss(machine.pmu());
+ *   abyss.select({"cycles", "uops_retired", "l1d_miss"});
+ *   abyss.begin();
+ *   ... run simulation ...
+ *   auto report = abyss.end();
+ * @endcode
+ *
+ * Selecting more events than the machine has counters is a user error
+ * (fatal), exactly as with the real tool: each event needs two
+ * counters (one per logical CPU) to produce per-context readings.
+ */
+class Abyss
+{
+  public:
+    explicit Abyss(Pmu& pmu);
+
+    /**
+     * Choose the events to measure by mnemonic name.
+     * @return the resolved EventIds, in selection order.
+     */
+    std::vector<EventId> select(const std::vector<std::string>& names);
+
+    /** Choose the events to measure by id. */
+    void select(const std::vector<EventId>& events);
+
+    /** Program the counters and start measuring. */
+    void begin();
+
+    /** Stop measuring and return the report. */
+    std::vector<AbyssReading> end();
+
+    /** @return max events measurable at once (counters / contexts). */
+    static constexpr std::size_t
+    maxEvents()
+    {
+        return Pmu::kNumCounters / kNumContexts;
+    }
+
+  private:
+    Pmu& _pmu;
+    std::vector<EventId> _selected;
+    bool _active = false;
+};
+
+} // namespace jsmt
+
+#endif // JSMT_PMU_ABYSS_H

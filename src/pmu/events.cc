@@ -1,0 +1,78 @@
+#include "pmu/events.h"
+
+#include <array>
+
+namespace jsmt {
+
+namespace {
+
+constexpr std::array<std::string_view, kNumEventIds> kEventNames = {
+    "cycles",
+    "uops_retired",
+    "instr_retired",
+    "user_cycles",
+    "os_cycles",
+    "idle_cycles",
+    "dual_thread_cycles",
+    "single_thread_cycles",
+    "retire_0",
+    "retire_1",
+    "retire_2",
+    "retire_3",
+    "trace_cache_access",
+    "trace_cache_miss",
+    "itlb_access",
+    "itlb_miss",
+    "page_walk",
+    "fetch_stall_cycles",
+    "branch_retired",
+    "btb_access",
+    "btb_miss",
+    "branch_mispredict",
+    "pipeline_flush",
+    "l1d_access",
+    "l1d_miss",
+    "l2_access",
+    "l2_miss",
+    "dtlb_access",
+    "dtlb_miss",
+    "dram_access",
+    "fsb_busy_cycles",
+    "mem_stall_cycles",
+    "rob_full_stall",
+    "iq_full_stall",
+    "ldq_full_stall",
+    "stq_full_stall",
+    "context_switches",
+    "syscalls",
+    "timer_ticks",
+    "gc_runs",
+    "gc_uops",
+    "alloc_bytes",
+    "barrier_waits",
+    "monitor_contention",
+    "jit_uops",
+};
+
+} // namespace
+
+std::string_view
+eventName(EventId id)
+{
+    const auto idx = static_cast<std::size_t>(id);
+    if (idx >= kNumEventIds)
+        return "invalid";
+    return kEventNames[idx];
+}
+
+std::optional<EventId>
+eventByName(std::string_view name)
+{
+    for (std::size_t i = 0; i < kNumEventIds; ++i) {
+        if (kEventNames[i] == name)
+            return static_cast<EventId>(i);
+    }
+    return std::nullopt;
+}
+
+} // namespace jsmt

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Catalogue of architectural performance-monitoring events.
+ *
+ * The Pentium 4 exposes 48 countable event classes through 18 counters
+ * (Sprunt, IEEE Micro 2002). This catalogue models the subset the
+ * paper's characterization relies on, plus the bookkeeping events the
+ * experiment harness derives its tables from. Every event is counted
+ * per logical CPU, as on real hardware.
+ */
+
+#ifndef JSMT_PMU_EVENTS_H
+#define JSMT_PMU_EVENTS_H
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+namespace jsmt {
+
+/** Architectural performance events of the modelled machine. */
+enum class EventId : unsigned {
+    // Progress / cycle accounting.
+    kCycles = 0,        ///< Clock cycles the machine was running.
+    kUopsRetired,       ///< Micro-operations retired.
+    kInstrRetired,      ///< Architectural instructions retired.
+    kUserCycles,        ///< Cycles executing user-mode code.
+    kOsCycles,          ///< Cycles executing kernel-mode code.
+    kIdleCycles,        ///< Cycles the context had no runnable thread.
+    kDualThreadCycles,  ///< Cycles both logical CPUs were active.
+    kSingleThreadCycles,///< Cycles exactly one logical CPU was active.
+
+    // Retirement histogram (Figure 2 of the paper).
+    kRetire0,           ///< Cycles retiring 0 uops.
+    kRetire1,           ///< Cycles retiring 1 uop.
+    kRetire2,           ///< Cycles retiring 2 uops.
+    kRetire3,           ///< Cycles retiring 3 uops.
+
+    // Front end.
+    kTraceCacheAccess,  ///< Trace-cache line lookups.
+    kTraceCacheMiss,    ///< Trace-cache line misses (trace build).
+    kItlbAccess,        ///< Instruction TLB lookups.
+    kItlbMiss,          ///< Instruction TLB misses.
+    kPageWalk,          ///< Page walks (ITLB + DTLB).
+    kFetchStallCycles,  ///< Cycles fetch was stalled for this context.
+
+    // Branches.
+    kBranchRetired,     ///< Branch uops retired.
+    kBtbAccess,         ///< BTB lookups.
+    kBtbMiss,           ///< BTB lookups that missed (incl. tag/ctx).
+    kBranchMispredict,  ///< Mispredicted branches (direction/target).
+    kPipelineFlush,     ///< Front-end flushes (mispredict, switch).
+
+    // Data memory.
+    kL1dAccess,         ///< L1 data cache accesses.
+    kL1dMiss,           ///< L1 data cache misses.
+    kL2Access,          ///< Unified L2 accesses (both sides).
+    kL2Miss,            ///< Unified L2 misses.
+    kDtlbAccess,        ///< Data TLB lookups.
+    kDtlbMiss,          ///< Data TLB misses.
+    kDramAccess,        ///< Accesses reaching main memory.
+    kFsbBusyCycles,     ///< Cycles the front-side bus was occupied.
+    kMemStallCycles,    ///< Load-use stall cycles charged to memory.
+
+    // Back-end resource stalls.
+    kRobFullStall,      ///< Allocation stalls: reorder buffer full.
+    kIqFullStall,       ///< Allocation stalls: issue queue full.
+    kLdqFullStall,      ///< Allocation stalls: load buffer full.
+    kStqFullStall,      ///< Allocation stalls: store buffer full.
+
+    // Operating system / JVM software events.
+    kContextSwitches,   ///< Scheduler context switches.
+    kSyscalls,          ///< System calls executed.
+    kTimerTicks,        ///< Timer interrupts delivered.
+    kGcRuns,            ///< Garbage collections started.
+    kGcUops,            ///< Uops retired by the collector thread.
+    kAllocBytes,        ///< Heap bytes allocated.
+    kBarrierWaits,      ///< Threads blocked at a barrier.
+    kMonitorContention, ///< Contended monitor acquisitions.
+    kJitUops,           ///< Uops attributed to JIT compilation.
+
+    kNumEvents,
+};
+
+/** Number of distinct architectural events. */
+inline constexpr std::size_t kNumEventIds =
+    static_cast<std::size_t>(EventId::kNumEvents);
+
+/** @return the mnemonic name of an event (e.g. "l1d_miss"). */
+std::string_view eventName(EventId id);
+
+/** @return the event with the given mnemonic name, if any. */
+std::optional<EventId> eventByName(std::string_view name);
+
+} // namespace jsmt
+
+#endif // JSMT_PMU_EVENTS_H

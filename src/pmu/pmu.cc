@@ -1,0 +1,108 @@
+#include "pmu/pmu.h"
+
+#include <string>
+
+#include "common/log.h"
+
+namespace jsmt {
+
+Pmu::Pmu()
+{
+    reset();
+}
+
+void
+Pmu::reset()
+{
+    for (auto& per_ctx : _raw)
+        per_ctx.fill(0);
+    for (auto& counter : _counters)
+        counter = Counter{};
+}
+
+std::uint64_t
+Pmu::rawForConfig(const CounterConfig& config) const
+{
+    if (config.qualifier == CpuQualifier::kAny)
+        return rawTotal(config.event);
+    return raw(config.event, config.context);
+}
+
+void
+Pmu::configure(std::size_t index, const CounterConfig& config)
+{
+    if (index >= kNumCounters)
+        fatal("pmu: counter index " + std::to_string(index) +
+              " out of range");
+    if (static_cast<std::size_t>(config.event) >= kNumEventIds)
+        fatal("pmu: invalid event id");
+    if (config.qualifier == CpuQualifier::kSingle &&
+        config.context >= kNumContexts) {
+        fatal("pmu: invalid logical CPU qualifier");
+    }
+    Counter& counter = _counters[index];
+    counter.config = config;
+    counter.programmed = true;
+    counter.running = true;
+    counter.accumulated = 0;
+    counter.baseline = rawForConfig(config);
+}
+
+void
+Pmu::stop(std::size_t index)
+{
+    if (index >= kNumCounters)
+        fatal("pmu: counter index out of range");
+    Counter& counter = _counters[index];
+    if (!counter.programmed || !counter.running)
+        return;
+    counter.accumulated += rawForConfig(counter.config) -
+                           counter.baseline;
+    counter.running = false;
+}
+
+void
+Pmu::start(std::size_t index)
+{
+    if (index >= kNumCounters)
+        fatal("pmu: counter index out of range");
+    Counter& counter = _counters[index];
+    if (!counter.programmed)
+        fatal("pmu: starting unprogrammed counter");
+    if (counter.running)
+        return;
+    counter.baseline = rawForConfig(counter.config);
+    counter.running = true;
+}
+
+std::uint64_t
+Pmu::read(std::size_t index) const
+{
+    if (index >= kNumCounters)
+        fatal("pmu: counter index out of range");
+    const Counter& counter = _counters[index];
+    if (!counter.programmed)
+        return 0;
+    std::uint64_t value = counter.accumulated;
+    if (counter.running)
+        value += rawForConfig(counter.config) - counter.baseline;
+    return value;
+}
+
+const CounterConfig&
+Pmu::config(std::size_t index) const
+{
+    if (index >= kNumCounters)
+        fatal("pmu: counter index out of range");
+    return _counters[index].config;
+}
+
+bool
+Pmu::programmed(std::size_t index) const
+{
+    if (index >= kNumCounters)
+        fatal("pmu: counter index out of range");
+    return _counters[index].programmed;
+}
+
+} // namespace jsmt

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Performance-monitoring unit modelled on the Pentium 4 PMU.
+ *
+ * The simulated machine drives one "event line" per EventId and
+ * logical CPU; the PMU always accumulates raw event counts (the event
+ * detectors), and exposes 18 programmable counters on top, matching
+ * the counter budget of the Pentium 4. A programmable counter binds an
+ * event to a logical-CPU qualifier (count this context, the other one,
+ * or both) the way the P4's CCCR thread qualification bits do.
+ */
+
+#ifndef JSMT_PMU_PMU_H
+#define JSMT_PMU_PMU_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "pmu/events.h"
+
+namespace jsmt {
+
+/** Logical-CPU qualification of a programmable counter. */
+enum class CpuQualifier {
+    kSingle, ///< Count only the configured context.
+    kAny,    ///< Count events from both contexts.
+};
+
+/** Configuration of one programmable counter (CCCR/ESCR analogue). */
+struct CounterConfig
+{
+    EventId event = EventId::kCycles;
+    CpuQualifier qualifier = CpuQualifier::kAny;
+    ContextId context = 0; ///< Used when qualifier == kSingle.
+};
+
+/**
+ * The performance-monitoring unit.
+ *
+ * Raw per-context event accumulation is always on (it is how the rest
+ * of the simulator publishes events); the 18 programmable counters are
+ * implemented as snapshot deltas over the raw accumulators, which is
+ * behaviourally equivalent to gated counting.
+ */
+class Pmu
+{
+  public:
+    /** Number of programmable counters (as on the Pentium 4). */
+    static constexpr std::size_t kNumCounters = 18;
+
+    Pmu();
+
+    /** Zero all raw accumulators and disable all counters. */
+    void reset();
+
+    /**
+     * Publish @p n occurrences of @p event on logical CPU @p ctx.
+     * Hot path: kept inline and branch-free.
+     */
+    void
+    record(EventId event, ContextId ctx, std::uint64_t n = 1)
+    {
+        _raw[ctx][static_cast<std::size_t>(event)] += n;
+    }
+
+    /** @return raw accumulated count of @p event on @p ctx. */
+    std::uint64_t
+    raw(EventId event, ContextId ctx) const
+    {
+        return _raw[ctx][static_cast<std::size_t>(event)];
+    }
+
+    /** @return raw count summed over both logical CPUs. */
+    std::uint64_t
+    rawTotal(EventId event) const
+    {
+        std::uint64_t sum = 0;
+        for (ContextId c = 0; c < kNumContexts; ++c)
+            sum += raw(event, c);
+        return sum;
+    }
+
+    /**
+     * Program counter @p index and start it counting from now.
+     * Out-of-range indices or events are a user error (fatal).
+     */
+    void configure(std::size_t index, const CounterConfig& config);
+
+    /** Stop counter @p index; its value freezes. */
+    void stop(std::size_t index);
+
+    /** Restart a programmed counter from its current value. */
+    void start(std::size_t index);
+
+    /** @return current value of programmable counter @p index. */
+    std::uint64_t read(std::size_t index) const;
+
+    /** @return config of programmable counter @p index. */
+    const CounterConfig& config(std::size_t index) const;
+
+    /** @return whether counter @p index has been programmed. */
+    bool programmed(std::size_t index) const;
+
+  private:
+    /** One programmable counter's state. */
+    struct Counter
+    {
+        CounterConfig config;
+        bool programmed = false;
+        bool running = false;
+        std::uint64_t accumulated = 0; ///< Value while stopped.
+        std::uint64_t baseline = 0;    ///< Raw snapshot at start().
+    };
+
+    std::uint64_t rawForConfig(const CounterConfig& config) const;
+
+    std::array<std::array<std::uint64_t, kNumEventIds>, kNumContexts>
+        _raw{};
+    std::array<Counter, kNumCounters> _counters{};
+};
+
+} // namespace jsmt
+
+#endif // JSMT_PMU_PMU_H

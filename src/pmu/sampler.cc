@@ -1,0 +1,60 @@
+#include "pmu/sampler.h"
+
+#include "common/log.h"
+
+namespace jsmt {
+
+AbyssSampler::AbyssSampler(const Pmu& pmu,
+                           std::vector<EventId> events)
+    : _pmu(pmu), _events(std::move(events))
+{
+    if (_events.empty())
+        fatal("sampler: needs at least one event");
+    reset();
+}
+
+void
+AbyssSampler::reset()
+{
+    _samples.clear();
+    _baseline.assign(_events.size(), 0);
+    for (std::size_t i = 0; i < _events.size(); ++i)
+        _baseline[i] = _pmu.rawTotal(_events[i]);
+}
+
+void
+AbyssSampler::sample(Cycle now)
+{
+    SamplePoint point;
+    point.cycle = now;
+    point.deltas.resize(_events.size());
+    for (std::size_t i = 0; i < _events.size(); ++i) {
+        const std::uint64_t total = _pmu.rawTotal(_events[i]);
+        point.deltas[i] = total - _baseline[i];
+        _baseline[i] = total;
+    }
+    _samples.push_back(std::move(point));
+}
+
+std::size_t
+AbyssSampler::columnOf(EventId event) const
+{
+    for (std::size_t i = 0; i < _events.size(); ++i) {
+        if (_events[i] == event)
+            return i;
+    }
+    fatal("sampler: event '" + std::string(eventName(event)) +
+          "' is not tracked");
+}
+
+std::uint64_t
+AbyssSampler::totalOf(EventId event) const
+{
+    const std::size_t column = columnOf(event);
+    std::uint64_t sum = 0;
+    for (const SamplePoint& point : _samples)
+        sum += point.deltas[column];
+    return sum;
+}
+
+} // namespace jsmt

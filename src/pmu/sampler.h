@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Interval sampling over the PMU — the time-series counterpart of
+ * the Abyss session harness, modelled on the Pentium 4's event-based
+ * sampling support (Sprunt, IEEE Micro 2002): read a set of events
+ * at a fixed cycle interval and keep the per-interval deltas.
+ *
+ * The sampler is driven by the caller (e.g. through
+ * Simulation::RunOptions::onSample), so it composes with any run
+ * loop.
+ */
+
+#ifndef JSMT_PMU_SAMPLER_H
+#define JSMT_PMU_SAMPLER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "pmu/pmu.h"
+
+namespace jsmt {
+
+/** One interval's worth of event deltas. */
+struct SamplePoint
+{
+    /** Cycle at which the sample was taken (end of interval). */
+    Cycle cycle = 0;
+    /** Per-event deltas since the previous sample (both contexts). */
+    std::vector<std::uint64_t> deltas;
+};
+
+/**
+ * Periodic counter sampler.
+ */
+class AbyssSampler
+{
+  public:
+    /**
+     * @param pmu PMU to read.
+     * @param events events to track (any number; raw accumulators
+     *        are read directly, so the 18-counter limit of live
+     *        sessions does not apply to post-mortem sampling).
+     */
+    AbyssSampler(const Pmu& pmu, std::vector<EventId> events);
+
+    /** Record the deltas since the last sample() call. */
+    void sample(Cycle now);
+
+    /** @return all samples taken so far. */
+    const std::vector<SamplePoint>& samples() const
+    {
+        return _samples;
+    }
+
+    /** @return the tracked events, in column order. */
+    const std::vector<EventId>& events() const { return _events; }
+
+    /** @return column index of @p event; fatal if untracked. */
+    std::size_t columnOf(EventId event) const;
+
+    /**
+     * Sum of one event's deltas over all samples (equals the raw
+     * total if sampling covered the whole run).
+     */
+    std::uint64_t totalOf(EventId event) const;
+
+    /** Drop all samples and re-baseline at current counts. */
+    void reset();
+
+  private:
+    const Pmu& _pmu;
+    std::vector<EventId> _events;
+    std::vector<std::uint64_t> _baseline;
+    std::vector<SamplePoint> _samples;
+};
+
+} // namespace jsmt
+
+#endif // JSMT_PMU_SAMPLER_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Geometry of the modelled SMT core (Pentium 4 Northwood).
+ */
+
+#ifndef JSMT_UARCH_CORE_CONFIG_H
+#define JSMT_UARCH_CORE_CONFIG_H
+
+#include <cstdint>
+
+namespace jsmt {
+
+/**
+ * How window resources (ROB, load/store buffers) are divided between
+ * logical processors when Hyper-Threading is enabled.
+ */
+enum class PartitionPolicy {
+    /**
+     * The Pentium 4 design the paper measured: each context is
+     * statically granted exactly half and the halves are not
+     * recombined while HT is on — the cause of the paper's Figure 10
+     * single-thread slowdowns.
+     */
+    kStatic,
+    /**
+     * The hardware fix the paper proposes in §4.3: resources are a
+     * shared pool; a lone thread can fill the whole window.
+     */
+    kDynamic,
+};
+
+/**
+ * Core pipeline parameters.
+ *
+ * Window sizes are machine totals; with Hyper-Threading enabled they
+ * are divided between the logical processors according to
+ * partitionPolicy.
+ */
+struct CoreConfig
+{
+    /** µops fetched+allocated per cycle (one thread per cycle). */
+    std::uint32_t fetchAllocWidth = 3;
+    /** µops that may begin execution per cycle (shared). */
+    std::uint32_t issueWidth = 3;
+    /** µops retired per cycle (shared, alternating preference). */
+    std::uint32_t retireWidth = 3;
+
+    /** Window sharing policy under HT (the P4 is static). */
+    PartitionPolicy partitionPolicy = PartitionPolicy::kStatic;
+
+    /** Reorder-buffer entries (126 on Northwood). */
+    std::uint32_t robEntries = 126;
+    /** Load buffer entries (48). */
+    std::uint32_t loadBufEntries = 48;
+    /** Store buffer entries (24). */
+    std::uint32_t storeBufEntries = 24;
+
+    /**
+     * Extra cycles after a mispredicted branch resolves before fetch
+     * restarts (redirect latency; the ~20-stage refill emerges from
+     * the branch's own queueing+execution time plus this).
+     */
+    std::uint32_t mispredictRedirectCycles = 2;
+    /** Front-end flush penalty on an OS context switch. */
+    std::uint32_t contextSwitchFlushCycles = 20;
+};
+
+} // namespace jsmt
+
+#endif // JSMT_UARCH_CORE_CONFIG_H

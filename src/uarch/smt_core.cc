@@ -1,0 +1,398 @@
+#include "uarch/smt_core.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace jsmt {
+
+SmtCore::SmtCore(const CoreConfig& config, MemorySystem& mem,
+                 BranchUnit& branch, Scheduler& scheduler, Pmu& pmu,
+                 std::uint64_t seed)
+    : _config(config),
+      _mem(mem),
+      _branch(branch),
+      _scheduler(scheduler),
+      _pmu(pmu),
+      _rng(seed ^ 0x5eed'c0de'd00dULL)
+{
+    if (config.fetchAllocWidth == 0 || config.issueWidth == 0 ||
+        config.retireWidth == 0) {
+        fatal("core: widths must be positive");
+    }
+    if (config.retireWidth > 3) {
+        fatal("core: retireWidth above 3 is unsupported (the "
+              "retirement histogram models the P4's 3-uop limit)");
+    }
+    if (config.robEntries < 2 * kNumContexts)
+        fatal("core: ROB too small to partition");
+    setHyperThreading(true);
+}
+
+void
+SmtCore::setHyperThreading(bool enabled)
+{
+    _hyperThreading = enabled;
+    _scheduler.setNumContexts(enabled ? kNumContexts : 1);
+    _mem.setHyperThreading(enabled);
+    _branch.setHyperThreading(enabled);
+    reset();
+}
+
+std::uint32_t
+SmtCore::robCap(ContextId ctx) const
+{
+    if (_hyperThreading)
+        return _config.robEntries / kNumContexts;
+    return ctx == 0 ? _config.robEntries : 0;
+}
+
+std::uint32_t
+SmtCore::ldqCap(ContextId ctx) const
+{
+    if (_hyperThreading)
+        return _config.loadBufEntries / kNumContexts;
+    return ctx == 0 ? _config.loadBufEntries : 0;
+}
+
+std::uint32_t
+SmtCore::stqCap(ContextId ctx) const
+{
+    if (_hyperThreading)
+        return _config.storeBufEntries / kNumContexts;
+    return ctx == 0 ? _config.storeBufEntries : 0;
+}
+
+std::uint32_t
+SmtCore::robOccupancy(ContextId ctx) const
+{
+    return static_cast<std::uint32_t>(_ctx[ctx].rob.size());
+}
+
+bool
+SmtCore::robFull(ContextId ctx) const
+{
+    if (_hyperThreading &&
+        _config.partitionPolicy == PartitionPolicy::kDynamic) {
+        // Shared pool: the lone constraint is total occupancy.
+        return _ctx[0].rob.size() + _ctx[1].rob.size() >=
+               _config.robEntries;
+    }
+    return _ctx[ctx].rob.size() >= robCap(ctx);
+}
+
+bool
+SmtCore::ldqFull(ContextId ctx) const
+{
+    if (_hyperThreading &&
+        _config.partitionPolicy == PartitionPolicy::kDynamic) {
+        return _ctx[0].ldqOcc + _ctx[1].ldqOcc >=
+               _config.loadBufEntries;
+    }
+    return _ctx[ctx].ldqOcc >= ldqCap(ctx);
+}
+
+bool
+SmtCore::stqFull(ContextId ctx) const
+{
+    if (_hyperThreading &&
+        _config.partitionPolicy == PartitionPolicy::kDynamic) {
+        return _ctx[0].stqOcc + _ctx[1].stqOcc >=
+               _config.storeBufEntries;
+    }
+    return _ctx[ctx].stqOcc >= stqCap(ctx);
+}
+
+bool
+SmtCore::drained() const
+{
+    for (const ContextState& cs : _ctx) {
+        if (!cs.rob.empty())
+            return false;
+    }
+    return true;
+}
+
+void
+SmtCore::reset()
+{
+    for (ContextState& cs : _ctx)
+        cs = ContextState{};
+    _issueCount.fill(0);
+    _issueStamp.fill(0);
+}
+
+Cycle
+SmtCore::findIssueSlot(Cycle earliest)
+{
+    Cycle c = earliest;
+    const Cycle horizon = earliest + kIssueRingSize - 1;
+    while (c < horizon) {
+        const std::uint32_t idx = c & (kIssueRingSize - 1);
+        if (_issueStamp[idx] != c) {
+            _issueStamp[idx] = c;
+            _issueCount[idx] = 1;
+            return c;
+        }
+        if (_issueCount[idx] < _config.issueWidth) {
+            ++_issueCount[idx];
+            return c;
+        }
+        ++c;
+    }
+    // Pathologically far in the future: stop constraining.
+    return c;
+}
+
+void
+SmtCore::retireStage(Cycle now)
+{
+    std::uint32_t budget = _config.retireWidth;
+    std::uint32_t retired_total = 0;
+    const std::uint32_t contexts = activeContexts();
+    const ContextId first =
+        contexts > 1 ? static_cast<ContextId>(now & 1) : 0;
+
+    for (std::uint32_t k = 0; k < contexts && budget > 0; ++k) {
+        const ContextId ctx = (first + k) % contexts;
+        ContextState& cs = _ctx[ctx];
+        while (budget > 0 && !cs.rob.empty() &&
+               cs.rob.front().completion <= now) {
+            RobEntry entry = std::move(cs.rob.front());
+            cs.rob.pop_front();
+            if (entry.type == UopType::kLoad)
+                --cs.ldqOcc;
+            else if (entry.type == UopType::kStore)
+                --cs.stqOcc;
+            _pmu.record(EventId::kUopsRetired, ctx);
+            _pmu.record(EventId::kInstrRetired, ctx);
+            if (entry.type == UopType::kBranch)
+                _pmu.record(EventId::kBranchRetired, ctx);
+            entry.thread->onRetire(entry.uop, now);
+            --budget;
+            ++retired_total;
+        }
+    }
+
+    // Machine-wide retirement histogram (Figure 2).
+    static constexpr EventId kHistogram[4] = {
+        EventId::kRetire0, EventId::kRetire1, EventId::kRetire2,
+        EventId::kRetire3};
+    _pmu.record(kHistogram[std::min<std::uint32_t>(retired_total, 3)],
+                0);
+}
+
+std::uint32_t
+SmtCore::allocFromContext(ContextId ctx, Cycle now,
+                          std::uint32_t budget)
+{
+    ContextState& cs = _ctx[ctx];
+    SoftwareThread* thread = _scheduler.active(ctx);
+    if (!thread)
+        return 0;
+
+    // Detect an OS context switch: flush the context's front end.
+    if (thread != cs.lastThread) {
+        cs.lastThread = thread;
+        cs.resumeAt = std::max<Cycle>(
+            cs.resumeAt, now + _config.contextSwitchFlushCycles);
+        _pmu.record(EventId::kPipelineFlush, ctx);
+    }
+
+    if (now < cs.resumeAt) {
+        _pmu.record(EventId::kFetchStallCycles, ctx);
+        return 0;
+    }
+
+    ThreadFrontEnd& fe = thread->frontEnd();
+    std::uint32_t used = 0;
+    while (used < budget) {
+        if (!fe.valid) {
+            if (now < fe.nextFetchAt) {
+                // Redirect/bubble: the next line is not fetchable
+                // yet.
+                if (used == 0)
+                    _pmu.record(EventId::kFetchStallCycles, ctx);
+                return used;
+            }
+            if (!thread->nextBundle(now, fe.bundle)) {
+                // Thread blocked or finished; the scheduler reacts
+                // on its next tick.
+                return used;
+            }
+            fe.pos = 0;
+            fe.valid = true;
+            cs.kernelMode = fe.bundle.kernelMode;
+            const bool stale_trace =
+                fe.bundle.rebuildProb > 0.0f &&
+                _rng.chance(fe.bundle.rebuildProb);
+            const FetchLineResult fetch = _mem.fetchLine(
+                fe.bundle.asid, fe.bundle.lineVaddr,
+                fe.bundle.traceAddr, ctx, now, stale_trace);
+            if (fetch.latency > 0) {
+                // Trace-cache miss: µops deliverable after rebuild.
+                fe.bundleReadyAt = now + fetch.latency;
+                return used;
+            }
+            fe.bundleReadyAt = now;
+        }
+
+        if (now < fe.bundleReadyAt) {
+            if (used == 0)
+                _pmu.record(EventId::kFetchStallCycles, ctx);
+            return used;
+        }
+        cs.kernelMode = fe.bundle.kernelMode;
+
+        while (used < budget && fe.pos < fe.bundle.count) {
+            const Uop& uop = fe.bundle.uops[fe.pos];
+
+            // Window resource checks (divided per the configured
+            // partition policy in HT mode).
+            if (robFull(ctx)) {
+                _pmu.record(EventId::kRobFullStall, ctx);
+                return used;
+            }
+            if (uop.type == UopType::kLoad && ldqFull(ctx)) {
+                _pmu.record(EventId::kLdqFullStall, ctx);
+                return used;
+            }
+            if (uop.type == UopType::kStore && stqFull(ctx)) {
+                _pmu.record(EventId::kStqFullStall, ctx);
+                return used;
+            }
+
+            const std::uint64_t seq = thread->allocSeq();
+            const Cycle dep_ready =
+                thread->producerCompletion(seq, uop.depDist);
+            const Cycle ready = std::max<Cycle>(now + 1, dep_ready);
+
+            Cycle latency = uop.execLatency;
+            bool mispredicted = false;
+            std::uint32_t fetch_bubble = 0;
+
+            switch (uop.type) {
+              case UopType::kLoad: {
+                const DataAccessResult access = _mem.dataAccess(
+                    fe.bundle.asid, uop.dataVaddr, ctx, false,
+                    ready);
+                latency = access.latency;
+                if (!access.l1Hit) {
+                    _pmu.record(EventId::kMemStallCycles, ctx,
+                                access.latency);
+                }
+                break;
+              }
+              case UopType::kStore:
+                // Buffered: affects caches, not the critical path.
+                _mem.dataAccess(fe.bundle.asid, uop.dataVaddr, ctx,
+                                true, ready);
+                latency = 1;
+                break;
+              case UopType::kBranch: {
+                const bool line_end =
+                    fe.pos + 1 == fe.bundle.count;
+                const BranchOutcome outcome = _branch.predict(
+                    fe.bundle.asid, uop.pc, ctx,
+                    uop.mispredictProb, _rng, line_end);
+                mispredicted = outcome.mispredicted;
+                fetch_bubble = outcome.fetchBubble;
+                break;
+              }
+              case UopType::kAlu:
+              case UopType::kFp:
+                break;
+            }
+
+            const Cycle issue = findIssueSlot(ready);
+            const Cycle completion = issue + latency;
+            thread->recordCompletion(seq, completion);
+
+            RobEntry entry;
+            entry.completion = completion;
+            entry.thread = thread;
+            entry.type = uop.type;
+            entry.kernelMode = uop.kernelMode;
+            entry.uop = uop;
+            cs.rob.push_back(entry);
+            if (uop.type == UopType::kLoad)
+                ++cs.ldqOcc;
+            else if (uop.type == UopType::kStore)
+                ++cs.stqOcc;
+            ++fe.pos;
+            ++used;
+
+            if (mispredicted) {
+                // The already-delivered remainder of this trace
+                // line is the correct continuation; the penalty is
+                // that no further line can be fetched until the
+                // branch resolves and fetch redirects.
+                fe.nextFetchAt = std::max<Cycle>(
+                    fe.nextFetchAt,
+                    completion + _config.mispredictRedirectCycles);
+                _pmu.record(EventId::kPipelineFlush, ctx);
+            } else if (fetch_bubble > 0) {
+                // BTB miss on a taken branch: the next line's fetch
+                // is delayed by the decode-redirect bubble.
+                fe.nextFetchAt = std::max<Cycle>(
+                    fe.nextFetchAt, now + fetch_bubble);
+            }
+        }
+
+        if (fe.pos >= fe.bundle.count)
+            fe.valid = false;
+    }
+    return used;
+}
+
+void
+SmtCore::fetchAllocStage(Cycle now)
+{
+    const std::uint32_t contexts = activeContexts();
+    const std::uint32_t budget = _config.fetchAllocWidth;
+    const ContextId first =
+        contexts > 1 ? static_cast<ContextId>(now & 1) : 0;
+    // Strict P4-style alternation: the whole allocation bandwidth
+    // belongs to one logical processor per cycle. The slot is only
+    // donated when the preferred context has no thread at all; a
+    // merely stalled thread wastes its slot, which is what bounds
+    // SMT gains on the real machine.
+    ContextId ctx = first;
+    if (contexts > 1 && _scheduler.active(first) == nullptr)
+        ctx = (first + 1) % contexts;
+    allocFromContext(ctx, now, budget);
+}
+
+void
+SmtCore::accountCycle(Cycle now)
+{
+    (void)now;
+    _pmu.record(EventId::kCycles, 0);
+    std::uint32_t active = 0;
+    for (ContextId ctx = 0; ctx < activeContexts(); ++ctx) {
+        SoftwareThread* thread = _scheduler.active(ctx);
+        if (!thread) {
+            _pmu.record(EventId::kIdleCycles, ctx);
+            continue;
+        }
+        ++active;
+        if (_ctx[ctx].kernelMode)
+            _pmu.record(EventId::kOsCycles, ctx);
+        else
+            _pmu.record(EventId::kUserCycles, ctx);
+    }
+    if (active == 2)
+        _pmu.record(EventId::kDualThreadCycles, 0);
+    else if (active == 1)
+        _pmu.record(EventId::kSingleThreadCycles, 0);
+}
+
+void
+SmtCore::cycle(Cycle now)
+{
+    retireStage(now);
+    fetchAllocStage(now);
+    accountCycle(now);
+}
+
+} // namespace jsmt

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Cycle-level model of a two-context SMT (Hyper-Threading) core.
+ *
+ * The pipeline is modelled in three coupled stages per cycle:
+ *
+ *  1. Retire: in-order per context, up to retireWidth µops total per
+ *     cycle with alternating context preference (as on the P4). The
+ *     per-cycle retirement histogram behind the paper's Figure 2 is
+ *     collected here.
+ *  2. Fetch+allocate: one context per cycle (alternating; an idle or
+ *     stalled context donates its slots). Trace lines are fetched
+ *     through the memory system; branches consult the predictor/BTB;
+ *     µops enter the ROB and load/store buffers, which are statically
+ *     halved per context when Hyper-Threading is on.
+ *  3. Execution is latency-resolved at allocation: each µop's
+ *     completion cycle is computed from its register dependence
+ *     (per-thread dependence ring), a shared issue-bandwidth
+ *     constraint, its unit latency, and — for loads — a full cache
+ *     hierarchy walk. Retirement then enforces program order, so
+ *     head-of-line blocking on long-latency loads emerges naturally.
+ *
+ * Wrong-path fetch is modelled as a front-end bubble until the
+ * mispredicted branch resolves (no wrong-path cache pollution; see
+ * DESIGN.md §7).
+ */
+
+#ifndef JSMT_UARCH_SMT_CORE_H
+#define JSMT_UARCH_SMT_CORE_H
+
+#include <array>
+#include <cstdint>
+#include <deque>
+
+#include "branch/branch_unit.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "common/uop.h"
+#include "mem/memory_system.h"
+#include "os/scheduler.h"
+#include "pmu/pmu.h"
+#include "uarch/core_config.h"
+
+namespace jsmt {
+
+/**
+ * The SMT core.
+ */
+class SmtCore
+{
+  public:
+    SmtCore(const CoreConfig& config, MemorySystem& mem,
+            BranchUnit& branch, Scheduler& scheduler, Pmu& pmu,
+            std::uint64_t seed = 1);
+
+    /**
+     * Enable/disable Hyper-Threading. Propagates to the scheduler
+     * (1 vs 2 logical CPUs), ITLB (partitioning) and BTB (context
+     * tagging), and resets pipeline state.
+     */
+    void setHyperThreading(bool enabled);
+
+    /** @return whether Hyper-Threading is enabled. */
+    bool hyperThreading() const { return _hyperThreading; }
+
+    /** Advance the machine by one cycle. */
+    void cycle(Cycle now);
+
+    /** @return true when no µops are in flight. */
+    bool drained() const;
+
+    /** Clear all pipeline state (between harness runs). */
+    void reset();
+
+    /** @return configuration. */
+    const CoreConfig& config() const { return _config; }
+
+    /** @return per-context ROB capacity under static partitioning. */
+    std::uint32_t robCap(ContextId ctx) const;
+    /** @return per-context load-buffer capacity (static). */
+    std::uint32_t ldqCap(ContextId ctx) const;
+    /** @return per-context store-buffer capacity (static). */
+    std::uint32_t stqCap(ContextId ctx) const;
+
+    /** @return whether @p ctx may not allocate another ROB entry. */
+    bool robFull(ContextId ctx) const;
+    /** @return whether @p ctx may not allocate another load. */
+    bool ldqFull(ContextId ctx) const;
+    /** @return whether @p ctx may not allocate another store. */
+    bool stqFull(ContextId ctx) const;
+
+    /** @return current ROB occupancy of @p ctx (tests). */
+    std::uint32_t robOccupancy(ContextId ctx) const;
+
+  private:
+    /** Retired-entry bookkeeping for one in-flight µop. */
+    struct RobEntry
+    {
+        Cycle completion = 0;
+        SoftwareThread* thread = nullptr;
+        UopType type = UopType::kAlu;
+        bool kernelMode = false;
+        /** Retained so onRetire can see the original µop. */
+        Uop uop;
+    };
+
+    /** Per-logical-CPU pipeline state. */
+    struct ContextState
+    {
+        std::deque<RobEntry> rob;
+        std::uint32_t ldqOcc = 0;
+        std::uint32_t stqOcc = 0;
+        /** Front end blocked until here (context-switch flush). */
+        Cycle resumeAt = 0;
+        SoftwareThread* lastThread = nullptr;
+        bool kernelMode = false;
+    };
+
+    void retireStage(Cycle now);
+    void fetchAllocStage(Cycle now);
+    std::uint32_t allocFromContext(ContextId ctx, Cycle now,
+                                   std::uint32_t budget);
+    void accountCycle(Cycle now);
+
+    /** Reserve an issue slot at or after @p earliest. */
+    Cycle findIssueSlot(Cycle earliest);
+
+    /** Number of contexts in the current mode. */
+    std::uint32_t
+    activeContexts() const
+    {
+        return _hyperThreading ? kNumContexts : 1;
+    }
+
+    CoreConfig _config;
+    MemorySystem& _mem;
+    BranchUnit& _branch;
+    Scheduler& _scheduler;
+    Pmu& _pmu;
+    Rng _rng;
+    bool _hyperThreading = true;
+
+    std::array<ContextState, kNumContexts> _ctx;
+
+    // Shared issue-bandwidth ring (stamp-validated counters).
+    static constexpr std::uint32_t kIssueRingBits = 13;
+    static constexpr std::uint32_t kIssueRingSize =
+        1u << kIssueRingBits;
+    std::array<std::uint8_t, kIssueRingSize> _issueCount{};
+    std::array<Cycle, kIssueRingSize> _issueStamp{};
+};
+
+} // namespace jsmt
+
+#endif // JSMT_UARCH_SMT_CORE_H

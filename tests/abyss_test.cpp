@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for the Abyss measurement harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pmu/abyss.h"
+
+namespace jsmt {
+namespace {
+
+TEST(Abyss, SelectByNameResolves)
+{
+    Pmu pmu;
+    Abyss abyss(pmu);
+    const auto ids = abyss.select(
+        {std::string("cycles"), std::string("l1d_miss")});
+    ASSERT_EQ(ids.size(), 2u);
+    EXPECT_EQ(ids[0], EventId::kCycles);
+    EXPECT_EQ(ids[1], EventId::kL1dMiss);
+}
+
+TEST(Abyss, SessionMeasuresDeltas)
+{
+    Pmu pmu;
+    pmu.record(EventId::kCycles, 0, 1000); // Pre-session noise.
+    Abyss abyss(pmu);
+    abyss.select({std::string("cycles")});
+    abyss.begin();
+    pmu.record(EventId::kCycles, 0, 42);
+    pmu.record(EventId::kCycles, 1, 8);
+    const auto report = abyss.end();
+    ASSERT_EQ(report.size(), 1u);
+    EXPECT_EQ(report[0].name, "cycles");
+    EXPECT_EQ(report[0].perContext[0], 42u);
+    EXPECT_EQ(report[0].perContext[1], 8u);
+    EXPECT_EQ(report[0].total, 50u);
+}
+
+TEST(Abyss, BackToBackSessions)
+{
+    Pmu pmu;
+    Abyss abyss(pmu);
+    abyss.select({std::string("syscalls")});
+    abyss.begin();
+    pmu.record(EventId::kSyscalls, 0, 3);
+    auto first = abyss.end();
+    abyss.begin();
+    pmu.record(EventId::kSyscalls, 0, 5);
+    auto second = abyss.end();
+    EXPECT_EQ(first[0].total, 3u);
+    EXPECT_EQ(second[0].total, 5u);
+}
+
+TEST(Abyss, MaxEventsMatchesCounterBudget)
+{
+    EXPECT_EQ(Abyss::maxEvents(),
+              Pmu::kNumCounters / kNumContexts);
+}
+
+TEST(AbyssDeath, TooManyEvents)
+{
+    Pmu pmu;
+    Abyss abyss(pmu);
+    std::vector<std::string> names(Abyss::maxEvents() + 1,
+                                   "cycles");
+    EXPECT_EXIT(abyss.select(names), testing::ExitedWithCode(1),
+                "capacity");
+}
+
+TEST(AbyssDeath, UnknownEventName)
+{
+    Pmu pmu;
+    Abyss abyss(pmu);
+    EXPECT_EXIT(abyss.select({std::string("bogus_event")}),
+                testing::ExitedWithCode(1), "unknown event");
+}
+
+TEST(AbyssDeath, EndWithoutBegin)
+{
+    Pmu pmu;
+    Abyss abyss(pmu);
+    EXPECT_EXIT(abyss.end(), testing::ExitedWithCode(1),
+                "no active session");
+}
+
+} // namespace
+} // namespace jsmt

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for the branch prediction unit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "branch/branch_unit.h"
+
+namespace jsmt {
+namespace {
+
+BranchConfig
+testConfig()
+{
+    BranchConfig config;
+    config.btb.entries = 64;
+    config.btb.ways = 4;
+    return config;
+}
+
+TEST(BranchUnit, BtbMissProducesBubble)
+{
+    Pmu pmu;
+    BranchUnit unit(testConfig(), pmu);
+    Rng rng(1);
+    const BranchOutcome first =
+        unit.predict(1, 0x400000, 0, 0.0, rng, true);
+    EXPECT_FALSE(first.btbHit);
+    EXPECT_GT(first.fetchBubble, 0u);
+    const BranchOutcome second =
+        unit.predict(1, 0x400000, 0, 0.0, rng, true);
+    EXPECT_TRUE(second.btbHit);
+    EXPECT_EQ(second.fetchBubble, 0u);
+}
+
+TEST(BranchUnit, NonTakenSkipsBtb)
+{
+    Pmu pmu;
+    BranchUnit unit(testConfig(), pmu);
+    Rng rng(2);
+    const BranchOutcome outcome =
+        unit.predict(1, 0x400000, 0, 0.0, rng, false);
+    EXPECT_TRUE(outcome.btbHit);
+    EXPECT_EQ(outcome.fetchBubble, 0u);
+    EXPECT_EQ(pmu.rawTotal(EventId::kBtbAccess), 0u);
+}
+
+TEST(BranchUnit, MispredictProbabilityExtremes)
+{
+    Pmu pmu;
+    BranchUnit unit(testConfig(), pmu);
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(
+            unit.predict(1, 0x1000, 0, 0.0, rng, false)
+                .mispredicted);
+        EXPECT_TRUE(
+            unit.predict(1, 0x1000, 0, 1.0, rng, false)
+                .mispredicted);
+    }
+    EXPECT_EQ(pmu.rawTotal(EventId::kBranchMispredict), 100u);
+}
+
+TEST(BranchUnit, MispredictRateStatistical)
+{
+    Pmu pmu;
+    BranchUnit unit(testConfig(), pmu);
+    Rng rng(5);
+    int mispredicts = 0;
+    constexpr int kN = 20000;
+    for (int i = 0; i < kN; ++i) {
+        if (unit.predict(1, 0x1000, 0, 0.1, rng, false)
+                .mispredicted) {
+            ++mispredicts;
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(mispredicts) / kN, 0.1, 0.01);
+}
+
+TEST(BranchUnit, EventsRecorded)
+{
+    Pmu pmu;
+    BranchUnit unit(testConfig(), pmu);
+    Rng rng(7);
+    unit.predict(1, 0x400000, 0, 0.0, rng, true);
+    EXPECT_EQ(pmu.raw(EventId::kBtbAccess, 0), 1u);
+    EXPECT_EQ(pmu.raw(EventId::kBtbMiss, 0), 1u);
+}
+
+TEST(BranchUnit, HtModeRetagsBtb)
+{
+    Pmu pmu;
+    BranchUnit unit(testConfig(), pmu);
+    Rng rng(9);
+    unit.setHyperThreading(true);
+    unit.predict(1, 0x400000, 0, 0.0, rng, true);
+    // Same pc, other context: must miss (context-tagged entry).
+    const BranchOutcome other =
+        unit.predict(1, 0x400000, 1, 0.0, rng, true);
+    EXPECT_FALSE(other.btbHit);
+}
+
+} // namespace
+} // namespace jsmt

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the synthetic code walker.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "jvm/code_walker.h"
+
+namespace jsmt {
+namespace {
+
+WorkloadProfile
+walkerProfile()
+{
+    WorkloadProfile profile;
+    profile.name = "walker-test";
+    profile.codeLines = 100;
+    profile.codeMeanRun = 4.0;
+    profile.codeJumpLocal = 0.9;
+    profile.codeLoopWindow = 16;
+    return profile;
+}
+
+TEST(CodeWalker, StaysWithinFootprint)
+{
+    const WorkloadProfile profile = walkerProfile();
+    CodeWalker walker(profile, Rng(1));
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_LT(walker.currentLine(), profile.codeLines);
+        walker.nextLine();
+    }
+}
+
+TEST(CodeWalker, AddressesMatchLineAndStride)
+{
+    WorkloadProfile profile = walkerProfile();
+    profile.codeBytesPerLine = 256;
+    CodeWalker walker(profile, Rng(2));
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(walker.currentAddr(),
+                  CodeWalker::kCodeBase +
+                      static_cast<Addr>(walker.currentLine()) * 256);
+        EXPECT_EQ(walker.currentDenseAddr(),
+                  CodeWalker::kCodeBase +
+                      static_cast<Addr>(walker.currentLine()) * 64);
+        walker.nextLine();
+    }
+}
+
+TEST(CodeWalker, DeterministicFromSeed)
+{
+    const WorkloadProfile profile = walkerProfile();
+    CodeWalker a(profile, Rng(3));
+    CodeWalker b(profile, Rng(3));
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.nextLine(), b.nextLine());
+}
+
+TEST(CodeWalker, TouchesWholeFootprintEventually)
+{
+    const WorkloadProfile profile = walkerProfile();
+    CodeWalker walker(profile, Rng(4));
+    std::set<std::uint32_t> seen;
+    for (int i = 0; i < 50000; ++i) {
+        seen.insert(walker.currentLine());
+        walker.nextLine();
+    }
+    EXPECT_EQ(seen.size(), profile.codeLines);
+}
+
+TEST(CodeWalker, JumpRateMatchesMeanRun)
+{
+    const WorkloadProfile profile = walkerProfile();
+    CodeWalker walker(profile, Rng(5));
+    int jumps = 0;
+    constexpr int kSteps = 50000;
+    for (int i = 0; i < kSteps; ++i) {
+        walker.nextLine();
+        jumps += walker.lastStepWasJump() ? 1 : 0;
+    }
+    // One jump per ~meanRun lines (geometric run lengths).
+    const double expected = kSteps / profile.codeMeanRun;
+    EXPECT_NEAR(static_cast<double>(jumps), expected,
+                0.15 * expected);
+}
+
+TEST(CodeWalker, HigherLocalityMeansSmallerInstantFootprint)
+{
+    // Count distinct lines over a short horizon: a local walker
+    // must touch fewer than a global one.
+    WorkloadProfile local = walkerProfile();
+    local.codeLines = 2000;
+    local.codeJumpLocal = 0.99;
+    WorkloadProfile global = local;
+    global.codeJumpLocal = 0.3;
+
+    const auto distinct = [](const WorkloadProfile& profile) {
+        CodeWalker walker(profile, Rng(6));
+        std::set<std::uint32_t> seen;
+        for (int i = 0; i < 2000; ++i) {
+            seen.insert(walker.currentLine());
+            walker.nextLine();
+        }
+        return seen.size();
+    };
+    EXPECT_LT(distinct(local), distinct(global));
+}
+
+} // namespace
+} // namespace jsmt

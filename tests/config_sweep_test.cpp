@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Configuration-sweep property tests: the simulator must respond
+ * sanely to machine-parameter changes (bigger caches help, slower
+ * memory hurts, wider retire helps), and reject nonsense configs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.h"
+#include "jvm/benchmarks.h"
+
+namespace jsmt {
+namespace {
+
+constexpr double kScale = 0.05;
+
+RunResult
+runWith(const SystemConfig& config,
+        const std::string& benchmark = "db",
+        std::uint32_t threads = 1)
+{
+    SystemConfig cfg = config;
+    Machine machine(cfg);
+    Simulation sim(machine);
+    WorkloadSpec spec;
+    spec.benchmark = benchmark;
+    spec.threads = threads;
+    spec.lengthScale = kScale;
+    sim.addProcess(spec);
+    RunResult result = sim.run();
+    EXPECT_TRUE(result.allComplete);
+    return result;
+}
+
+TEST(ConfigSweep, LargerL1ReducesMisses)
+{
+    SystemConfig small;
+    SystemConfig big;
+    big.mem.l1dBytes = 64 * 1024;
+    const RunResult small_result = runWith(small);
+    const RunResult big_result = runWith(big);
+    EXPECT_LT(big_result.total(EventId::kL1dMiss),
+              small_result.total(EventId::kL1dMiss));
+    EXPECT_LE(big_result.cycles, small_result.cycles);
+}
+
+TEST(ConfigSweep, LargerL2ReducesDramTraffic)
+{
+    SystemConfig small;
+    small.mem.l2Bytes = 256 * 1024;
+    SystemConfig big;
+    big.mem.l2Bytes = 4 * 1024 * 1024;
+    const RunResult small_result =
+        runWith(small, "PseudoJBB", 2);
+    const RunResult big_result = runWith(big, "PseudoJBB", 2);
+    EXPECT_LT(big_result.total(EventId::kDramAccess),
+              small_result.total(EventId::kDramAccess));
+}
+
+TEST(ConfigSweep, SlowerDramSlowsMemoryBoundRuns)
+{
+    SystemConfig fast;
+    fast.mem.dramCycles = 100;
+    SystemConfig slow;
+    slow.mem.dramCycles = 500;
+    EXPECT_LT(runWith(fast, "PseudoJBB").cycles,
+              runWith(slow, "PseudoJBB").cycles);
+}
+
+TEST(ConfigSweep, BiggerRobHelpsWindowBoundRuns)
+{
+    SystemConfig small;
+    small.core.robEntries = 32;
+    SystemConfig big;
+    big.core.robEntries = 256;
+    EXPECT_LT(runWith(big, "compress").cycles,
+              runWith(small, "compress").cycles);
+}
+
+TEST(ConfigSweep, LargerTraceCacheHelpsBigCode)
+{
+    SystemConfig small;
+    small.mem.traceCacheLines = 512;
+    SystemConfig big;
+    big.mem.traceCacheLines = 8192;
+    const RunResult small_result = runWith(small, "jack");
+    const RunResult big_result = runWith(big, "jack");
+    EXPECT_LT(big_result.total(EventId::kTraceCacheMiss),
+              small_result.total(EventId::kTraceCacheMiss));
+}
+
+TEST(ConfigSweep, ShorterQuantumMeansMoreSwitches)
+{
+    SystemConfig short_q;
+    short_q.os.quantumCycles = 10'000;
+    short_q.hyperThreading = false;
+    SystemConfig long_q = short_q;
+    long_q.os.quantumCycles = 200'000;
+    const RunResult short_result =
+        runWith(short_q, "MonteCarlo", 2);
+    const RunResult long_result =
+        runWith(long_q, "MonteCarlo", 2);
+    EXPECT_GT(short_result.total(EventId::kContextSwitches),
+              long_result.total(EventId::kContextSwitches));
+}
+
+TEST(ConfigSweep, SeedOnlyPerturbsNotTransforms)
+{
+    // Different seeds must produce similar-magnitude results
+    // (statistical workloads, not chaos).
+    SystemConfig a;
+    a.seed = 7;
+    SystemConfig b;
+    b.seed = 77;
+    const double ca = static_cast<double>(runWith(a).cycles);
+    const double cb = static_cast<double>(runWith(b).cycles);
+    EXPECT_NEAR(ca / cb, 1.0, 0.1);
+}
+
+TEST(ConfigSweepDeath, BadTraceCacheGeometry)
+{
+    SystemConfig config;
+    config.mem.traceCacheLines = 100; // Not divisible into sets.
+    EXPECT_EXIT(Machine{config}, testing::ExitedWithCode(1),
+                "trace_cache");
+}
+
+TEST(ConfigSweepDeath, ZeroQuantum)
+{
+    SystemConfig config;
+    config.os.quantumCycles = 0;
+    EXPECT_EXIT(Machine{config}, testing::ExitedWithCode(1),
+                "quantum");
+}
+
+} // namespace
+} // namespace jsmt

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for the synthetic data-address model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "jvm/data_model.h"
+
+namespace jsmt {
+namespace {
+
+WorkloadProfile
+dataProfile()
+{
+    WorkloadProfile profile;
+    profile.name = "data-test";
+    profile.privateBytes = 16 * 1024;
+    profile.sharedBytes = 64 * 1024;
+    profile.privateFrac = 0.5;
+    profile.hotFrac = 0.8;
+    profile.hotBytes = 2048;
+    profile.warmFrac = 0.1;
+    profile.warmBytes = 8 * 1024;
+    profile.sweepFrac = 0.2;
+    profile.sweepStride = 8;
+    profile.crossThreadFrac = 0.0;
+    return profile;
+}
+
+bool
+inPrivate(const DataModel& model, Addr addr, std::uint32_t thread,
+          const WorkloadProfile& profile)
+{
+    const Addr base = model.privateBaseOf(thread);
+    return addr >= base && addr < base + profile.privateBytes;
+}
+
+bool
+inShared(Addr addr, const WorkloadProfile& profile)
+{
+    return addr >= DataModel::kSharedBase &&
+           addr < DataModel::kSharedBase + profile.sharedBytes;
+}
+
+TEST(DataModel, AddressesStayInRegions)
+{
+    const WorkloadProfile profile = dataProfile();
+    DataModel model(profile, Rng(1), 0, 1);
+    for (int i = 0; i < 20000; ++i) {
+        const Addr addr = model.nextAddr();
+        EXPECT_TRUE(inPrivate(model, addr, 0, profile) ||
+                    inShared(addr, profile))
+            << std::hex << addr;
+    }
+}
+
+TEST(DataModel, AddressesAreAligned)
+{
+    const WorkloadProfile profile = dataProfile();
+    DataModel model(profile, Rng(2), 0, 1);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(model.nextAddr() % 8, 0u);
+}
+
+TEST(DataModel, PrivateStrideIsPageAlignedAndSufficient)
+{
+    const WorkloadProfile profile = dataProfile();
+    DataModel model(profile, Rng(3), 0, 4);
+    EXPECT_GE(model.privateStride(), profile.privateBytes);
+    EXPECT_EQ(model.privateStride() % 4096, 0u);
+    EXPECT_NE(model.privateBaseOf(0), model.privateBaseOf(1));
+}
+
+TEST(DataModel, PrivateFractionRespected)
+{
+    const WorkloadProfile profile = dataProfile();
+    DataModel model(profile, Rng(4), 0, 1);
+    int privates = 0;
+    constexpr int kN = 50000;
+    for (int i = 0; i < kN; ++i) {
+        if (inPrivate(model, model.nextAddr(), 0, profile))
+            ++privates;
+    }
+    EXPECT_NEAR(static_cast<double>(privates) / kN,
+                profile.privateFrac, 0.02);
+}
+
+TEST(DataModel, CrossThreadAccessesTargetPeers)
+{
+    WorkloadProfile profile = dataProfile();
+    profile.crossThreadFrac = 1.0; // Every private access crosses.
+    profile.privateFrac = 1.0;
+    DataModel model(profile, Rng(5), 1, 4);
+    for (int i = 0; i < 5000; ++i) {
+        const Addr addr = model.nextAddr();
+        bool in_own = inPrivate(model, addr, 1, profile);
+        EXPECT_FALSE(in_own) << "cross access hit own region";
+        bool in_peer = false;
+        for (std::uint32_t t = 0; t < 4; ++t) {
+            if (t != 1 && inPrivate(model, addr, t, profile))
+                in_peer = true;
+        }
+        EXPECT_TRUE(in_peer);
+    }
+}
+
+TEST(DataModel, SingleThreadNeverCrosses)
+{
+    WorkloadProfile profile = dataProfile();
+    profile.crossThreadFrac = 1.0;
+    profile.privateFrac = 1.0;
+    DataModel model(profile, Rng(6), 0, 1);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_TRUE(inPrivate(model, model.nextAddr(), 0, profile));
+}
+
+TEST(DataModel, SweepAdvancesSequentially)
+{
+    WorkloadProfile profile = dataProfile();
+    profile.privateFrac = 0.0;
+    profile.sweepFrac = 1.0;
+    DataModel model(profile, Rng(7), 0, 1);
+    Addr prev = model.nextAddr();
+    for (int i = 0; i < 100; ++i) {
+        const Addr next = model.nextAddr();
+        // Monotone advance (mod footprint), stride-aligned.
+        const Addr expected =
+            DataModel::kSharedBase +
+            ((prev - DataModel::kSharedBase) +
+             profile.sweepStride) %
+                profile.sharedBytes;
+        EXPECT_EQ(next, expected & ~Addr{7});
+        prev = next;
+    }
+}
+
+TEST(DataModel, HotFractionConcentratesAccesses)
+{
+    WorkloadProfile profile = dataProfile();
+    profile.privateFrac = 1.0;
+    profile.hotFrac = 0.9;
+    profile.warmFrac = 0.0;
+    DataModel model(profile, Rng(8), 0, 1);
+    int hot = 0;
+    constexpr int kN = 20000;
+    for (int i = 0; i < kN; ++i) {
+        const Addr offset =
+            model.nextAddr() - model.privateBaseOf(0);
+        if (offset < profile.hotBytes)
+            ++hot;
+    }
+    // Hot accesses plus the uniform tail that lands in the hot
+    // prefix by chance.
+    const double expected =
+        0.9 + 0.1 * static_cast<double>(profile.hotBytes) /
+                  static_cast<double>(profile.privateBytes);
+    EXPECT_NEAR(static_cast<double>(hot) / kN, expected, 0.02);
+}
+
+} // namespace
+} // namespace jsmt

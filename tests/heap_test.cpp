@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Unit tests for heap accounting and GC triggering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "jvm/heap.h"
+
+namespace jsmt {
+namespace {
+
+TEST(Heap, TriggersAtThreshold)
+{
+    Heap heap(1000);
+    EXPECT_FALSE(heap.allocate(999));
+    EXPECT_TRUE(heap.allocate(1));
+    EXPECT_EQ(heap.gcCount(), 1u);
+}
+
+TEST(Heap, NoRetriggerWhilePending)
+{
+    Heap heap(1000);
+    EXPECT_TRUE(heap.allocate(1500));
+    // Still pending: further allocation must not start another GC.
+    EXPECT_FALSE(heap.allocate(5000));
+    EXPECT_EQ(heap.gcCount(), 1u);
+    heap.collected();
+    EXPECT_EQ(heap.sinceGc(), 0u);
+    EXPECT_TRUE(heap.allocate(1000));
+    EXPECT_EQ(heap.gcCount(), 2u);
+}
+
+TEST(Heap, TotalAllocationAccumulates)
+{
+    Heap heap(1u << 20);
+    heap.allocate(100);
+    heap.allocate(200);
+    EXPECT_EQ(heap.totalAllocated(), 300u);
+    EXPECT_EQ(heap.sinceGc(), 300u);
+}
+
+TEST(Heap, DefaultLimitIs512Mb)
+{
+    Heap heap(4096);
+    EXPECT_EQ(heap.limit(), 512ull << 20);
+}
+
+TEST(HeapDeath, RejectsZeroThreshold)
+{
+    EXPECT_EXIT(Heap{0}, testing::ExitedWithCode(1), "threshold");
+}
+
+TEST(HeapDeath, RejectsThresholdAboveLimit)
+{
+    EXPECT_EXIT((Heap{2048, 1024}), testing::ExitedWithCode(1),
+                "exceeds");
+}
+
+} // namespace
+} // namespace jsmt

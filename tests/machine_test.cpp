@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests for the Machine facade: component wiring, mode switching,
+ * and address-space allocation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine.h"
+
+namespace jsmt {
+namespace {
+
+TEST(Machine, BootsWithConfiguredHtMode)
+{
+    SystemConfig on;
+    on.hyperThreading = true;
+    Machine machine_on(on);
+    EXPECT_TRUE(machine_on.hyperThreading());
+    EXPECT_EQ(machine_on.scheduler().numContexts(), 2u);
+    EXPECT_TRUE(machine_on.mem().itlb().partitioned());
+
+    SystemConfig off;
+    off.hyperThreading = false;
+    Machine machine_off(off);
+    EXPECT_FALSE(machine_off.hyperThreading());
+    EXPECT_EQ(machine_off.scheduler().numContexts(), 1u);
+    EXPECT_FALSE(machine_off.mem().itlb().partitioned());
+}
+
+TEST(Machine, HtSwitchPropagatesEverywhere)
+{
+    SystemConfig config;
+    Machine machine(config);
+    machine.setHyperThreading(false);
+    EXPECT_FALSE(machine.hyperThreading());
+    EXPECT_EQ(machine.scheduler().numContexts(), 1u);
+    EXPECT_FALSE(machine.mem().itlb().partitioned());
+    machine.setHyperThreading(true);
+    EXPECT_TRUE(machine.hyperThreading());
+    EXPECT_EQ(machine.scheduler().numContexts(), 2u);
+    EXPECT_TRUE(machine.mem().itlb().partitioned());
+}
+
+TEST(Machine, AsidsAreUniqueAndNonKernel)
+{
+    SystemConfig config;
+    Machine machine(config);
+    const Asid first = machine.allocateAsid();
+    const Asid second = machine.allocateAsid();
+    EXPECT_NE(first, kKernelAsid);
+    EXPECT_NE(second, kKernelAsid);
+    EXPECT_NE(first, second);
+}
+
+TEST(Machine, ConfigIsPreserved)
+{
+    SystemConfig config;
+    config.mem.l2Bytes = 2 * 1024 * 1024;
+    config.seed = 77;
+    Machine machine(config);
+    EXPECT_EQ(machine.config().mem.l2Bytes, 2u * 1024 * 1024);
+    EXPECT_EQ(machine.config().seed, 77u);
+    EXPECT_EQ(machine.mem().l2().config().sizeBytes,
+              2u * 1024 * 1024);
+}
+
+TEST(Machine, PmuStartsClean)
+{
+    SystemConfig config;
+    Machine machine(config);
+    for (std::size_t e = 0; e < kNumEventIds; ++e) {
+        EXPECT_EQ(machine.pmu().rawTotal(static_cast<EventId>(e)),
+                  0u);
+    }
+}
+
+} // namespace
+} // namespace jsmt

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the pairing-prediction model (and the correlation
+ * statistics it relies on).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "harness/pairing_model.h"
+
+namespace jsmt {
+namespace {
+
+TEST(Stats, PearsonBasics)
+{
+    EXPECT_DOUBLE_EQ(pearson({1, 2, 3}, {2, 4, 6}), 1.0);
+    EXPECT_DOUBLE_EQ(pearson({1, 2, 3}, {6, 4, 2}), -1.0);
+    EXPECT_DOUBLE_EQ(pearson({1, 1, 1}, {1, 2, 3}), 0.0);
+    EXPECT_DOUBLE_EQ(pearson({1, 2}, {1}), 0.0);
+}
+
+TEST(Stats, SpearmanIsRankBased)
+{
+    // Monotone but nonlinear: Spearman 1, Pearson < 1.
+    const std::vector<double> xs = {1, 2, 3, 4, 5};
+    const std::vector<double> ys = {1, 8, 27, 64, 125};
+    EXPECT_DOUBLE_EQ(spearman(xs, ys), 1.0);
+    EXPECT_LT(pearson(xs, ys), 1.0);
+}
+
+TEST(Stats, SpearmanHandlesTies)
+{
+    const double rho =
+        spearman({1, 2, 2, 3}, {10, 20, 20, 30});
+    EXPECT_NEAR(rho, 1.0, 1e-12);
+}
+
+TEST(LinearModel, RecoversPlantedWeights)
+{
+    // y = 2*a - 3*b + 0.5
+    std::vector<std::vector<double>> rows;
+    std::vector<double> targets;
+    for (double a = 0; a < 5; ++a) {
+        for (double b = 0; b < 5; ++b) {
+            rows.push_back({a, b});
+            targets.push_back(2.0 * a - 3.0 * b + 0.5);
+        }
+    }
+    LinearModel model;
+    model.fit(rows, targets);
+    ASSERT_EQ(model.weights().size(), 2u);
+    EXPECT_NEAR(model.weights()[0], 2.0, 1e-6);
+    EXPECT_NEAR(model.weights()[1], -3.0, 1e-6);
+    EXPECT_NEAR(model.intercept(), 0.5, 1e-6);
+    EXPECT_NEAR(model.predict({10.0, 1.0}), 17.5, 1e-5);
+}
+
+TEST(LinearModelDeath, PredictBeforeFit)
+{
+    LinearModel model;
+    EXPECT_EXIT(model.predict({1.0}),
+                testing::ExitedWithCode(1), "before fit");
+}
+
+TEST(LinearModelDeath, RaggedRows)
+{
+    LinearModel model;
+    EXPECT_EXIT(model.fit({{1.0}, {1.0, 2.0}}, {1.0, 2.0}),
+                testing::ExitedWithCode(1), "ragged");
+}
+
+PairingFeatures
+makeFeatures(double tc, double l1, double l2)
+{
+    PairingFeatures features;
+    features.traceCacheMissPerKi = tc;
+    features.l1dMissPerKi = l1;
+    features.l2MissPerKi = l2;
+    return features;
+}
+
+PairResult
+makePair(const std::string& a, const std::string& b, double c)
+{
+    PairResult pair;
+    pair.a = a;
+    pair.b = b;
+    pair.combinedSpeedup = c;
+    return pair;
+}
+
+TEST(PairingPredictor, LearnsTraceCachePenalty)
+{
+    PairingPredictor predictor;
+    predictor.addProgram("light", makeFeatures(0.5, 10, 1));
+    predictor.addProgram("heavy", makeFeatures(8.0, 12, 1));
+    predictor.addProgram("mid", makeFeatures(3.0, 11, 1));
+
+    // Synthetic ground truth: C = 1.5 - 0.05 * (tcA + tcB).
+    const auto truth = [&](double ta, double tb) {
+        return 1.5 - 0.05 * (ta + tb);
+    };
+    std::vector<PairResult> training = {
+        makePair("light", "light", truth(0.5, 0.5)),
+        makePair("light", "heavy", truth(0.5, 8.0)),
+        makePair("heavy", "heavy", truth(8.0, 8.0)),
+        makePair("light", "mid", truth(0.5, 3.0)),
+        makePair("mid", "mid", truth(3.0, 3.0)),
+    };
+    predictor.train(training);
+
+    // Held-out combination predicted accurately, symmetrically.
+    EXPECT_NEAR(predictor.predict("mid", "heavy"),
+                truth(3.0, 8.0), 1e-6);
+    EXPECT_DOUBLE_EQ(predictor.predict("mid", "heavy"),
+                     predictor.predict("heavy", "mid"));
+    // Trace-cache weight is the learned negative driver.
+    EXPECT_NEAR(predictor.weights()[0], -0.05, 1e-6);
+}
+
+TEST(PairingPredictor, FeaturesFromRunResult)
+{
+    RunResult result;
+    result.events[0][static_cast<std::size_t>(
+        EventId::kInstrRetired)] = 1000;
+    result.events[0][static_cast<std::size_t>(
+        EventId::kTraceCacheMiss)] = 5;
+    result.events[1][static_cast<std::size_t>(
+        EventId::kL1dMiss)] = 20;
+    const PairingFeatures features =
+        PairingFeatures::fromRunResult(result);
+    EXPECT_DOUBLE_EQ(features.traceCacheMissPerKi, 5.0);
+    EXPECT_DOUBLE_EQ(features.l1dMissPerKi, 20.0);
+    EXPECT_DOUBLE_EQ(features.l2MissPerKi, 0.0);
+}
+
+TEST(PairingPredictorDeath, UnknownProgram)
+{
+    PairingPredictor predictor;
+    predictor.addProgram("a", makeFeatures(1, 1, 1));
+    predictor.train({makePair("a", "a", 1.2)});
+    EXPECT_EXIT(predictor.predict("a", "nope"),
+                testing::ExitedWithCode(1), "unknown program");
+}
+
+} // namespace
+} // namespace jsmt

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the paper's §4.3 proposal: dynamic window sharing
+ * instead of the Pentium 4's static partition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.h"
+#include "jvm/benchmarks.h"
+
+namespace jsmt {
+namespace {
+
+constexpr double kScale = 0.05;
+
+Cycle
+soloCycles(PartitionPolicy policy, bool ht,
+           const std::string& benchmark)
+{
+    SystemConfig config;
+    config.hyperThreading = ht;
+    config.core.partitionPolicy = policy;
+    Machine machine(config);
+    Simulation sim(machine);
+    WorkloadSpec spec;
+    spec.benchmark = benchmark;
+    spec.threads = 1;
+    spec.lengthScale = kScale;
+    sim.addProcess(spec);
+    const RunResult result = sim.run();
+    EXPECT_TRUE(result.allComplete);
+    return result.cycles;
+}
+
+TEST(PartitionPolicy, DynamicSharingReducesSoloHtPenalty)
+{
+    for (const char* name : {"compress", "mpegaudio", "db"}) {
+        const Cycle base = soloCycles(PartitionPolicy::kStatic,
+                                      false, name);
+        const Cycle static_ht =
+            soloCycles(PartitionPolicy::kStatic, true, name);
+        const Cycle dynamic_ht =
+            soloCycles(PartitionPolicy::kDynamic, true, name);
+        // Dynamic sharing must not be slower than the static split
+        // for a lone thread, and should sit close to the HT-off
+        // baseline.
+        EXPECT_LE(dynamic_ht, static_ht) << name;
+        const double residual =
+            static_cast<double>(dynamic_ht) /
+            static_cast<double>(base);
+        EXPECT_LT(residual, 1.10) << name;
+    }
+}
+
+TEST(PartitionPolicy, DynamicStillBoundsTotalWindow)
+{
+    // Two memory-hungry threads under dynamic sharing: the machine
+    // must still run correctly and retire everything.
+    SystemConfig config;
+    config.core.partitionPolicy = PartitionPolicy::kDynamic;
+    Machine machine(config);
+    Simulation sim(machine);
+    WorkloadSpec spec;
+    spec.benchmark = "db";
+    spec.threads = 2;
+    spec.lengthScale = kScale;
+    sim.addProcess(spec);
+    const RunResult result = sim.run();
+    EXPECT_TRUE(result.allComplete);
+    EXPECT_GT(result.event(EventId::kUopsRetired, 0), 0u);
+    EXPECT_GT(result.event(EventId::kUopsRetired, 1), 0u);
+}
+
+TEST(PartitionPolicy, DynamicMultithreadedThroughputNotWorse)
+{
+    const auto ipc_for = [](PartitionPolicy policy) {
+        SystemConfig config;
+        config.core.partitionPolicy = policy;
+        Machine machine(config);
+        Simulation sim(machine);
+        WorkloadSpec spec;
+        spec.benchmark = "MonteCarlo";
+        spec.threads = 2;
+        spec.lengthScale = kScale;
+        sim.addProcess(spec);
+        return sim.run().ipc();
+    };
+    EXPECT_GE(ipc_for(PartitionPolicy::kDynamic),
+              0.95 * ipc_for(PartitionPolicy::kStatic));
+}
+
+TEST(PartitionPolicy, StaticCapsAreHonoured)
+{
+    SystemConfig config;
+    Machine machine(config);
+    Simulation sim(machine);
+    WorkloadSpec spec;
+    spec.benchmark = "db";
+    spec.threads = 2;
+    spec.lengthScale = 0.01;
+    sim.addProcess(spec);
+    Simulation::RunOptions options;
+    options.maxCycles = 50'000;
+    // Sample occupancy mid-run.
+    options.sampleIntervalCycles = 500;
+    std::uint32_t max_occ = 0;
+    options.onSample = [&](Simulation& s, Cycle) {
+        for (ContextId ctx = 0; ctx < kNumContexts; ++ctx) {
+            max_occ = std::max(
+                max_occ, s.machine().core().robOccupancy(ctx));
+        }
+    };
+    sim.run(options);
+    EXPECT_LE(max_occ, config.core.robEntries / 2);
+    EXPECT_GT(max_occ, 0u);
+}
+
+} // namespace
+} // namespace jsmt

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the performance-monitoring unit and event
+ * catalogue.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pmu/events.h"
+#include "pmu/pmu.h"
+
+namespace jsmt {
+namespace {
+
+TEST(Events, NamesRoundTrip)
+{
+    for (std::size_t e = 0; e < kNumEventIds; ++e) {
+        const auto id = static_cast<EventId>(e);
+        const auto name = eventName(id);
+        EXPECT_FALSE(name.empty());
+        const auto back = eventByName(name);
+        ASSERT_TRUE(back.has_value()) << name;
+        EXPECT_EQ(*back, id);
+    }
+}
+
+TEST(Events, NamesAreUnique)
+{
+    for (std::size_t a = 0; a < kNumEventIds; ++a) {
+        for (std::size_t b = a + 1; b < kNumEventIds; ++b) {
+            EXPECT_NE(eventName(static_cast<EventId>(a)),
+                      eventName(static_cast<EventId>(b)));
+        }
+    }
+}
+
+TEST(Events, UnknownNameRejected)
+{
+    EXPECT_FALSE(eventByName("definitely_not_an_event"));
+    EXPECT_EQ(eventName(EventId::kNumEvents), "invalid");
+}
+
+TEST(Pmu, RawCountsPerContext)
+{
+    Pmu pmu;
+    pmu.record(EventId::kL1dMiss, 0);
+    pmu.record(EventId::kL1dMiss, 1, 3);
+    EXPECT_EQ(pmu.raw(EventId::kL1dMiss, 0), 1u);
+    EXPECT_EQ(pmu.raw(EventId::kL1dMiss, 1), 3u);
+    EXPECT_EQ(pmu.rawTotal(EventId::kL1dMiss), 4u);
+    EXPECT_EQ(pmu.rawTotal(EventId::kL2Miss), 0u);
+}
+
+TEST(Pmu, CounterCountsFromConfiguration)
+{
+    Pmu pmu;
+    pmu.record(EventId::kCycles, 0, 100); // Before: not counted.
+    pmu.configure(0, {EventId::kCycles, CpuQualifier::kSingle, 0});
+    pmu.record(EventId::kCycles, 0, 50);
+    pmu.record(EventId::kCycles, 1, 7); // Other context: excluded.
+    EXPECT_EQ(pmu.read(0), 50u);
+}
+
+TEST(Pmu, AnyQualifierSumsContexts)
+{
+    Pmu pmu;
+    pmu.configure(3, {EventId::kUopsRetired, CpuQualifier::kAny, 0});
+    pmu.record(EventId::kUopsRetired, 0, 5);
+    pmu.record(EventId::kUopsRetired, 1, 9);
+    EXPECT_EQ(pmu.read(3), 14u);
+}
+
+TEST(Pmu, StopFreezesValue)
+{
+    Pmu pmu;
+    pmu.configure(1, {EventId::kSyscalls, CpuQualifier::kAny, 0});
+    pmu.record(EventId::kSyscalls, 0, 4);
+    pmu.stop(1);
+    pmu.record(EventId::kSyscalls, 0, 10);
+    EXPECT_EQ(pmu.read(1), 4u);
+    pmu.start(1);
+    pmu.record(EventId::kSyscalls, 0, 2);
+    EXPECT_EQ(pmu.read(1), 6u);
+}
+
+TEST(Pmu, ReconfigureResets)
+{
+    Pmu pmu;
+    pmu.configure(0, {EventId::kCycles, CpuQualifier::kAny, 0});
+    pmu.record(EventId::kCycles, 0, 10);
+    EXPECT_EQ(pmu.read(0), 10u);
+    pmu.configure(0, {EventId::kCycles, CpuQualifier::kAny, 0});
+    EXPECT_EQ(pmu.read(0), 0u);
+}
+
+TEST(Pmu, ResetClearsEverything)
+{
+    Pmu pmu;
+    pmu.configure(0, {EventId::kCycles, CpuQualifier::kAny, 0});
+    pmu.record(EventId::kCycles, 0, 10);
+    pmu.reset();
+    EXPECT_EQ(pmu.rawTotal(EventId::kCycles), 0u);
+    EXPECT_FALSE(pmu.programmed(0));
+    EXPECT_EQ(pmu.read(0), 0u);
+}
+
+TEST(Pmu, UnprogrammedReadsZero)
+{
+    Pmu pmu;
+    EXPECT_EQ(pmu.read(5), 0u);
+    EXPECT_FALSE(pmu.programmed(5));
+}
+
+TEST(PmuDeath, CounterIndexOutOfRange)
+{
+    Pmu pmu;
+    EXPECT_EXIT(
+        pmu.configure(Pmu::kNumCounters,
+                      {EventId::kCycles, CpuQualifier::kAny, 0}),
+        testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(PmuDeath, BadQualifierContext)
+{
+    Pmu pmu;
+    EXPECT_EXIT(
+        pmu.configure(0, {EventId::kCycles, CpuQualifier::kSingle,
+                          kNumContexts}),
+        testing::ExitedWithCode(1), "qualifier");
+}
+
+} // namespace
+} // namespace jsmt

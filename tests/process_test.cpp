@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit tests for JVM process coordination: barriers, the contended
+ * monitor, stop-the-world collection and completion accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "jvm/benchmarks.h"
+#include "jvm/process.h"
+
+namespace jsmt {
+namespace {
+
+struct ProcessFixture
+{
+    ProcessFixture(std::uint32_t threads,
+                   const WorkloadProfile& profile)
+        : scheduler(OsConfig{}, pmu),
+          process(1, 7, profile, threads, 1.0, 42, scheduler, pmu)
+    {
+    }
+
+    Pmu pmu;
+    Scheduler scheduler;
+    JavaProcess process;
+};
+
+WorkloadProfile
+plainProfile()
+{
+    WorkloadProfile profile;
+    profile.name = "plain";
+    profile.uopsPerThread = 100'000;
+    return profile;
+}
+
+TEST(Process, CreatesAppThreadsPlusCollector)
+{
+    ProcessFixture fixture(3, plainProfile());
+    EXPECT_EQ(fixture.process.numAppThreads(), 3u);
+    ASSERT_EQ(fixture.process.threads().size(), 4u);
+    EXPECT_EQ(fixture.process.threads()[0]->kind(),
+              ThreadKind::kApp);
+    EXPECT_EQ(fixture.process.collector().kind(),
+              ThreadKind::kCollector);
+    // The collector is dormant until a GC starts.
+    EXPECT_EQ(fixture.process.collector().state(),
+              ThreadState::kBlocked);
+    EXPECT_EQ(fixture.process.collector().blockReason(),
+              BlockReason::kDormant);
+}
+
+TEST(Process, LaunchQueuesRunnableThreads)
+{
+    ProcessFixture fixture(2, plainProfile());
+    fixture.process.launch(100);
+    EXPECT_EQ(fixture.process.launchCycle(), 100u);
+    EXPECT_EQ(fixture.scheduler.runQueueDepth(), 2u);
+}
+
+TEST(Process, BarrierBlocksUntilLastArriver)
+{
+    ProcessFixture fixture(3, plainProfile());
+    auto& threads = fixture.process.threads();
+    JavaThread& t0 = *threads[0];
+    JavaThread& t1 = *threads[1];
+    JavaThread& t2 = *threads[2];
+
+    EXPECT_FALSE(fixture.process.arriveBarrier(t0));
+    t0.block(BlockReason::kBarrier);
+    EXPECT_FALSE(fixture.process.arriveBarrier(t1));
+    t1.block(BlockReason::kBarrier);
+    // Last arriver releases everyone and does not block itself.
+    EXPECT_TRUE(fixture.process.arriveBarrier(t2));
+    EXPECT_EQ(t0.state(), ThreadState::kRunnable);
+    EXPECT_EQ(t1.state(), ThreadState::kRunnable);
+}
+
+TEST(Process, BarrierAccountsForFinishedThreads)
+{
+    ProcessFixture fixture(2, plainProfile());
+    auto& threads = fixture.process.threads();
+    JavaThread& t0 = *threads[0];
+    JavaThread& t1 = *threads[1];
+    EXPECT_FALSE(fixture.process.arriveBarrier(t0));
+    t0.block(BlockReason::kBarrier);
+    // t1 finishes instead of arriving: the barrier must release t0.
+    t1.setState(ThreadState::kDone);
+    fixture.process.noteGenerationDone(t1, 10);
+    EXPECT_EQ(t0.state(), ThreadState::kRunnable);
+}
+
+TEST(Process, MonitorHandoffOrder)
+{
+    ProcessFixture fixture(3, plainProfile());
+    auto& threads = fixture.process.threads();
+    JavaThread& t0 = *threads[0];
+    JavaThread& t1 = *threads[1];
+    JavaThread& t2 = *threads[2];
+
+    EXPECT_TRUE(fixture.process.monitorAcquire(t0));
+    EXPECT_FALSE(fixture.process.monitorAcquire(t1));
+    t1.block(BlockReason::kMonitor);
+    EXPECT_FALSE(fixture.process.monitorAcquire(t2));
+    t2.block(BlockReason::kMonitor);
+    EXPECT_EQ(fixture.pmu.rawTotal(EventId::kMonitorContention),
+              2u);
+
+    // Release grants FIFO: t1 first.
+    fixture.process.monitorRelease(t0);
+    EXPECT_EQ(t1.state(), ThreadState::kRunnable);
+    EXPECT_EQ(t2.state(), ThreadState::kBlocked);
+    fixture.process.monitorRelease(t1);
+    EXPECT_EQ(t2.state(), ThreadState::kRunnable);
+    fixture.process.monitorRelease(t2);
+    // Free again.
+    EXPECT_TRUE(fixture.process.monitorAcquire(t0));
+}
+
+TEST(Process, AllocationTriggersStopTheWorld)
+{
+    WorkloadProfile profile = plainProfile();
+    profile.gcThresholdBytes = 1000;
+    ProcessFixture fixture(2, profile);
+    auto& threads = fixture.process.threads();
+
+    EXPECT_FALSE(fixture.process.allocate(500));
+    EXPECT_TRUE(fixture.process.allocate(600));
+    // All runnable app threads stopped; collector woken.
+    EXPECT_EQ(threads[0]->state(), ThreadState::kBlocked);
+    EXPECT_EQ(threads[0]->blockReason(), BlockReason::kGc);
+    EXPECT_EQ(threads[1]->blockReason(), BlockReason::kGc);
+    EXPECT_EQ(fixture.process.collector().state(),
+              ThreadState::kRunnable);
+    EXPECT_EQ(fixture.pmu.rawTotal(EventId::kGcRuns), 1u);
+
+    fixture.process.collectionFinished();
+    EXPECT_EQ(threads[0]->state(), ThreadState::kRunnable);
+    EXPECT_EQ(threads[1]->state(), ThreadState::kRunnable);
+    EXPECT_EQ(fixture.process.heap().sinceGc(), 0u);
+}
+
+TEST(Process, GcLeavesBarrierBlockedThreadsAlone)
+{
+    WorkloadProfile profile = plainProfile();
+    profile.gcThresholdBytes = 1000;
+    ProcessFixture fixture(2, profile);
+    auto& threads = fixture.process.threads();
+    JavaThread& waiter = *threads[0];
+    fixture.process.arriveBarrier(waiter);
+    waiter.block(BlockReason::kBarrier);
+
+    fixture.process.allocate(2000);
+    EXPECT_EQ(waiter.blockReason(), BlockReason::kBarrier);
+    fixture.process.collectionFinished();
+    // Still waiting at the barrier, not woken by the GC.
+    EXPECT_EQ(waiter.state(), ThreadState::kBlocked);
+}
+
+TEST(Process, CompletionWhenAllAppThreadsDrain)
+{
+    ProcessFixture fixture(2, plainProfile());
+    auto& threads = fixture.process.threads();
+    EXPECT_FALSE(fixture.process.complete());
+    fixture.process.noteThreadDrained(*threads[0], 500);
+    EXPECT_FALSE(fixture.process.complete());
+    fixture.process.noteThreadDrained(*threads[1], 900);
+    EXPECT_TRUE(fixture.process.complete());
+    EXPECT_EQ(fixture.process.completionCycle(), 900u);
+    // The collector was shut down with the JVM.
+    EXPECT_EQ(fixture.process.collector().state(),
+              ThreadState::kDone);
+}
+
+TEST(ProcessDeath, KernelAsidRejected)
+{
+    Pmu pmu;
+    Scheduler scheduler(OsConfig{}, pmu);
+    EXPECT_EXIT(JavaProcess(1, kKernelAsid, plainProfile(), 1, 1.0,
+                            1, scheduler, pmu),
+                testing::ExitedWithCode(1), "reserved");
+}
+
+TEST(ProcessDeath, MonitorReleaseByNonHolder)
+{
+    ProcessFixture fixture(2, plainProfile());
+    auto& threads = fixture.process.threads();
+    fixture.process.monitorAcquire(*threads[0]);
+    EXPECT_DEATH(fixture.process.monitorRelease(*threads[1]),
+                 "does not hold");
+}
+
+} // namespace
+} // namespace jsmt

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Parameterized property tests: invariants that must hold across
+ * geometry and workload sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/simulation.h"
+#include "jvm/benchmarks.h"
+#include "jvm/data_model.h"
+#include "mem/cache.h"
+
+namespace jsmt {
+namespace {
+
+// ---------------------------------------------------------------
+// Cache geometry sweep: working sets within capacity are fully
+// resident after one pass; beyond capacity they must miss.
+// ---------------------------------------------------------------
+
+using CacheGeometry = std::tuple<int, int>; // (size KB, ways)
+
+class CacheGeometryTest
+    : public testing::TestWithParam<CacheGeometry>
+{
+};
+
+TEST_P(CacheGeometryTest, WorkingSetWithinCapacityIsResident)
+{
+    const auto [size_kb, ways] = GetParam();
+    CacheConfig config;
+    config.sizeBytes = static_cast<std::uint64_t>(size_kb) * 1024;
+    config.lineBytes = 64;
+    config.ways = static_cast<std::uint32_t>(ways);
+    Cache cache(config);
+    // Touch half the capacity of sequential lines twice: the second
+    // pass must be all hits (LRU keeps a sequential set).
+    const std::uint64_t lines =
+        config.sizeBytes / config.lineBytes / 2;
+    for (std::uint64_t i = 0; i < lines; ++i)
+        cache.access(1, i * 64, 0);
+    const std::uint64_t misses_before = cache.misses();
+    for (std::uint64_t i = 0; i < lines; ++i)
+        EXPECT_TRUE(cache.access(1, i * 64, 0)) << i;
+    EXPECT_EQ(cache.misses(), misses_before);
+}
+
+TEST_P(CacheGeometryTest, OverCapacityWorkingSetMisses)
+{
+    const auto [size_kb, ways] = GetParam();
+    CacheConfig config;
+    config.sizeBytes = static_cast<std::uint64_t>(size_kb) * 1024;
+    config.lineBytes = 64;
+    config.ways = static_cast<std::uint32_t>(ways);
+    Cache cache(config);
+    const std::uint64_t lines =
+        2 * config.sizeBytes / config.lineBytes;
+    for (int pass = 0; pass < 2; ++pass) {
+        for (std::uint64_t i = 0; i < lines; ++i)
+            cache.access(1, i * 64, 0);
+    }
+    // Cyclic scan over 2x capacity with LRU: everything misses.
+    EXPECT_EQ(cache.misses(), cache.accesses());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometryTest,
+    testing::Values(CacheGeometry{8, 4}, CacheGeometry{8, 1},
+                    CacheGeometry{64, 8}, CacheGeometry{1024, 8},
+                    CacheGeometry{16, 2}),
+    [](const testing::TestParamInfo<CacheGeometry>& param_info) {
+        return std::to_string(std::get<0>(param_info.param)) +
+               "kB_" +
+               std::to_string(std::get<1>(param_info.param)) +
+               "way";
+    });
+
+// ---------------------------------------------------------------
+// Data footprint monotonicity: larger footprints cannot miss less.
+// ---------------------------------------------------------------
+
+class FootprintTest : public testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FootprintTest, MissesGrowWithFootprint)
+{
+    const std::uint64_t footprint_kb = GetParam();
+
+    const auto misses_for = [](std::uint64_t kb) {
+        WorkloadProfile profile;
+        profile.name = "sweep";
+        profile.privateBytes = kb * 1024;
+        profile.sharedBytes = 4096;
+        profile.privateFrac = 1.0;
+        profile.hotFrac = 0.0;
+        profile.warmFrac = 0.0;
+        DataModel model(profile, Rng(11), 0, 1);
+        CacheConfig config;
+        config.sizeBytes = 8 * 1024;
+        config.lineBytes = 64;
+        config.ways = 4;
+        Cache cache(config);
+        for (int i = 0; i < 50000; ++i)
+            cache.access(1, model.nextAddr(), 0);
+        return cache.misses();
+    };
+
+    EXPECT_GE(misses_for(footprint_kb * 2) * 110 / 100,
+              misses_for(footprint_kb));
+}
+
+INSTANTIATE_TEST_SUITE_P(Footprints, FootprintTest,
+                         testing::Values(4u, 8u, 16u, 64u, 256u));
+
+// ---------------------------------------------------------------
+// Per-benchmark system properties.
+// ---------------------------------------------------------------
+
+class BenchmarkPropertyTest
+    : public testing::TestWithParam<std::string>
+{
+  protected:
+    static constexpr double kScale = 0.03;
+};
+
+TEST_P(BenchmarkPropertyTest, DeterministicCycles)
+{
+    const std::string name = GetParam();
+    const auto run_once = [&] {
+        SystemConfig config;
+        Machine machine(config);
+        Simulation sim(machine);
+        WorkloadSpec spec;
+        spec.benchmark = name;
+        spec.lengthScale = kScale;
+        sim.addProcess(spec);
+        return sim.run().cycles;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+TEST_P(BenchmarkPropertyTest, CounterIdentitiesHold)
+{
+    SystemConfig config;
+    Machine machine(config);
+    Simulation sim(machine);
+    WorkloadSpec spec;
+    spec.benchmark = GetParam();
+    spec.lengthScale = kScale;
+    sim.addProcess(spec);
+    const RunResult result = sim.run();
+    ASSERT_TRUE(result.allComplete);
+    // Histogram covers all cycles and weights to retired µops.
+    EXPECT_EQ(result.total(EventId::kRetire0) +
+                  result.total(EventId::kRetire1) +
+                  result.total(EventId::kRetire2) +
+                  result.total(EventId::kRetire3),
+              result.total(EventId::kCycles));
+    EXPECT_EQ(result.total(EventId::kRetire1) +
+                  2 * result.total(EventId::kRetire2) +
+                  3 * result.total(EventId::kRetire3),
+              result.total(EventId::kUopsRetired));
+    // Structural inequalities.
+    EXPECT_LE(result.total(EventId::kL1dMiss),
+              result.total(EventId::kL1dAccess));
+    EXPECT_LE(result.total(EventId::kItlbMiss),
+              result.total(EventId::kItlbAccess));
+    EXPECT_EQ(result.total(EventId::kDramAccess),
+              result.total(EventId::kL2Miss));
+    EXPECT_GT(result.total(EventId::kUserCycles), 0u);
+}
+
+TEST_P(BenchmarkPropertyTest, StaticPartitionNeverHelpsSoloRuns)
+{
+    // The defining Figure 10 property: a single-threaded run can
+    // only get slower when HT partitions the machine.
+    const std::string name = GetParam();
+    const auto duration = [&](bool ht) {
+        SystemConfig config;
+        config.hyperThreading = ht;
+        Machine machine(config);
+        Simulation sim(machine);
+        WorkloadSpec spec;
+        spec.benchmark = name;
+        spec.threads = 1;
+        spec.lengthScale = kScale;
+        sim.addProcess(spec);
+        return sim.run().cycles;
+    };
+    EXPECT_GE(static_cast<double>(duration(true)),
+              0.98 * static_cast<double>(duration(false)))
+        << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, BenchmarkPropertyTest,
+    testing::ValuesIn(benchmarkNames()),
+    [](const testing::TestParamInfo<std::string>& param_info) {
+        return param_info.param;
+    });
+
+// ---------------------------------------------------------------
+// Thread-count sweep: total retired work scales with threads.
+// ---------------------------------------------------------------
+
+class ThreadCountTest
+    : public testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(ThreadCountTest, WorkScalesWithThreads)
+{
+    const std::uint32_t threads = GetParam();
+    SystemConfig config;
+    Machine machine(config);
+    Simulation sim(machine);
+    WorkloadSpec spec;
+    spec.benchmark = "MonteCarlo";
+    spec.threads = threads;
+    spec.lengthScale = 0.02;
+    sim.addProcess(spec);
+    const RunResult result = sim.run();
+    ASSERT_TRUE(result.allComplete);
+    const std::uint64_t quota = static_cast<std::uint64_t>(
+        benchmarkProfile("MonteCarlo").uopsPerThread * 0.02);
+    // At least the user-mode quota of every thread retired.
+    EXPECT_GE(result.total(EventId::kUopsRetired),
+              quota * threads);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ThreadCountTest,
+                         testing::Values(1u, 2u, 3u, 4u, 8u, 16u));
+
+} // namespace
+} // namespace jsmt

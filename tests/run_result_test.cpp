@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unit tests for RunResult's derived metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/run_result.h"
+
+namespace jsmt {
+namespace {
+
+RunResult
+makeResult()
+{
+    RunResult result;
+    const auto set = [&](EventId id, ContextId ctx,
+                         std::uint64_t value) {
+        result.events[ctx][static_cast<std::size_t>(id)] = value;
+    };
+    set(EventId::kCycles, 0, 1000);
+    set(EventId::kInstrRetired, 0, 600);
+    set(EventId::kInstrRetired, 1, 400);
+    set(EventId::kL1dMiss, 0, 30);
+    set(EventId::kL1dMiss, 1, 20);
+    set(EventId::kBtbAccess, 0, 200);
+    set(EventId::kBtbMiss, 0, 10);
+    set(EventId::kDualThreadCycles, 0, 700);
+    set(EventId::kSingleThreadCycles, 0, 300);
+    set(EventId::kUserCycles, 0, 900);
+    set(EventId::kUserCycles, 1, 600);
+    set(EventId::kOsCycles, 0, 100);
+    set(EventId::kOsCycles, 1, 50);
+    return result;
+}
+
+TEST(RunResult, TotalsAndPerContext)
+{
+    const RunResult result = makeResult();
+    EXPECT_EQ(result.event(EventId::kInstrRetired, 0), 600u);
+    EXPECT_EQ(result.event(EventId::kInstrRetired, 1), 400u);
+    EXPECT_EQ(result.total(EventId::kInstrRetired), 1000u);
+}
+
+TEST(RunResult, IpcAndCpi)
+{
+    const RunResult result = makeResult();
+    EXPECT_DOUBLE_EQ(result.ipc(), 1.0);
+    EXPECT_DOUBLE_EQ(result.cpi(), 1.0);
+}
+
+TEST(RunResult, PerKiloInstr)
+{
+    const RunResult result = makeResult();
+    EXPECT_DOUBLE_EQ(result.perKiloInstr(EventId::kL1dMiss), 50.0);
+}
+
+TEST(RunResult, Ratio)
+{
+    const RunResult result = makeResult();
+    EXPECT_DOUBLE_EQ(
+        result.ratio(EventId::kBtbMiss, EventId::kBtbAccess),
+        0.05);
+    EXPECT_DOUBLE_EQ(
+        result.ratio(EventId::kBtbMiss, EventId::kGcRuns), 0.0);
+}
+
+TEST(RunResult, DualThreadFraction)
+{
+    const RunResult result = makeResult();
+    EXPECT_DOUBLE_EQ(result.dualThreadFraction(), 0.7);
+}
+
+TEST(RunResult, OsCycleFraction)
+{
+    const RunResult result = makeResult();
+    EXPECT_NEAR(result.osCycleFraction(), 150.0 / 1650.0, 1e-12);
+}
+
+TEST(RunResult, EmptyResultIsSafe)
+{
+    const RunResult result;
+    EXPECT_DOUBLE_EQ(result.ipc(), 0.0);
+    EXPECT_DOUBLE_EQ(result.cpi(), 0.0);
+    EXPECT_DOUBLE_EQ(result.perKiloInstr(EventId::kL1dMiss), 0.0);
+    EXPECT_DOUBLE_EQ(result.dualThreadFraction(), 0.0);
+    EXPECT_DOUBLE_EQ(result.osCycleFraction(), 0.0);
+}
+
+} // namespace
+} // namespace jsmt

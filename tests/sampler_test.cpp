@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the interval sampler and the Simulation sampling hook.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.h"
+#include "pmu/sampler.h"
+
+namespace jsmt {
+namespace {
+
+TEST(Sampler, DeltasSinceBaseline)
+{
+    Pmu pmu;
+    pmu.record(EventId::kCycles, 0, 100); // Before construction.
+    AbyssSampler sampler(pmu, {EventId::kCycles,
+                               EventId::kL1dMiss});
+    pmu.record(EventId::kCycles, 0, 40);
+    pmu.record(EventId::kL1dMiss, 1, 3);
+    sampler.sample(40);
+    pmu.record(EventId::kCycles, 0, 60);
+    sampler.sample(100);
+
+    ASSERT_EQ(sampler.samples().size(), 2u);
+    EXPECT_EQ(sampler.samples()[0].cycle, 40u);
+    EXPECT_EQ(sampler.samples()[0].deltas[0], 40u);
+    EXPECT_EQ(sampler.samples()[0].deltas[1], 3u);
+    EXPECT_EQ(sampler.samples()[1].deltas[0], 60u);
+    EXPECT_EQ(sampler.samples()[1].deltas[1], 0u);
+    EXPECT_EQ(sampler.totalOf(EventId::kCycles), 100u);
+}
+
+TEST(Sampler, ResetRebaselines)
+{
+    Pmu pmu;
+    AbyssSampler sampler(pmu, {EventId::kSyscalls});
+    pmu.record(EventId::kSyscalls, 0, 5);
+    sampler.reset();
+    pmu.record(EventId::kSyscalls, 0, 2);
+    sampler.sample(10);
+    ASSERT_EQ(sampler.samples().size(), 1u);
+    EXPECT_EQ(sampler.samples()[0].deltas[0], 2u);
+}
+
+TEST(Sampler, ColumnLookup)
+{
+    Pmu pmu;
+    AbyssSampler sampler(pmu,
+                         {EventId::kCycles, EventId::kL2Miss});
+    EXPECT_EQ(sampler.columnOf(EventId::kCycles), 0u);
+    EXPECT_EQ(sampler.columnOf(EventId::kL2Miss), 1u);
+}
+
+TEST(SamplerDeath, UntrackedEvent)
+{
+    Pmu pmu;
+    AbyssSampler sampler(pmu, {EventId::kCycles});
+    EXPECT_EXIT(sampler.columnOf(EventId::kL1dMiss),
+                testing::ExitedWithCode(1), "not tracked");
+}
+
+TEST(SamplerDeath, EmptyEventList)
+{
+    Pmu pmu;
+    EXPECT_EXIT(AbyssSampler(pmu, {}),
+                testing::ExitedWithCode(1), "at least one");
+}
+
+TEST(Sampler, SimulationHookFiresAtInterval)
+{
+    SystemConfig config;
+    Machine machine(config);
+    Simulation sim(machine);
+    WorkloadSpec spec;
+    spec.benchmark = "compress";
+    spec.lengthScale = 0.02;
+    sim.addProcess(spec);
+
+    AbyssSampler sampler(machine.pmu(),
+                         {EventId::kCycles,
+                          EventId::kUopsRetired});
+    Simulation::RunOptions options;
+    options.sampleIntervalCycles = 10'000;
+    options.onSample = [&](Simulation&, Cycle now) {
+        sampler.sample(now);
+    };
+    const RunResult result = sim.run(options);
+    ASSERT_TRUE(result.allComplete);
+
+    // One sample per full interval.
+    EXPECT_EQ(sampler.samples().size(),
+              result.cycles / 10'000);
+    // Each interval's cycle delta equals the interval.
+    for (const auto& point : sampler.samples())
+        EXPECT_EQ(point.deltas[0], 10'000u);
+    // Sampled µop deltas sum to (almost) the run total.
+    EXPECT_LE(sampler.totalOf(EventId::kUopsRetired),
+              result.total(EventId::kUopsRetired));
+    EXPECT_GE(sampler.totalOf(EventId::kUopsRetired),
+              result.total(EventId::kUopsRetired) * 9 / 10);
+}
+
+} // namespace
+} // namespace jsmt

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit tests for the OS scheduler, using a stub thread.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/scheduler.h"
+
+namespace jsmt {
+namespace {
+
+/** Minimal thread stub that always produces an empty bundle. */
+class StubThread : public SoftwareThread
+{
+  public:
+    StubThread(ThreadId id) : SoftwareThread(id, 1) {}
+
+    bool
+    nextBundle(Cycle, FetchBundle& bundle) override
+    {
+        bundle = FetchBundle{};
+        bundle.count = 0;
+        return state() == ThreadState::kRunnable;
+    }
+};
+
+OsConfig
+fastOs()
+{
+    OsConfig config;
+    config.quantumCycles = 100;
+    config.contextSwitchUops = 10;
+    config.timerTickUops = 2;
+    return config;
+}
+
+TEST(Scheduler, DispatchesToBothContexts)
+{
+    Pmu pmu;
+    Scheduler sched(fastOs(), pmu);
+    StubThread a(1), b(2);
+    sched.addThread(&a);
+    sched.addThread(&b);
+    sched.tick(0);
+    EXPECT_EQ(sched.active(0), &a);
+    EXPECT_EQ(sched.active(1), &b);
+    EXPECT_EQ(sched.runQueueDepth(), 0u);
+}
+
+TEST(Scheduler, SingleContextModeLeavesSecondIdle)
+{
+    Pmu pmu;
+    Scheduler sched(fastOs(), pmu);
+    sched.setNumContexts(1);
+    StubThread a(1), b(2);
+    sched.addThread(&a);
+    sched.addThread(&b);
+    sched.tick(0);
+    EXPECT_EQ(sched.active(0), &a);
+    EXPECT_EQ(sched.active(1), nullptr);
+    EXPECT_EQ(sched.runQueueDepth(), 1u);
+}
+
+TEST(Scheduler, RoundRobinPreemption)
+{
+    Pmu pmu;
+    Scheduler sched(fastOs(), pmu);
+    sched.setNumContexts(1);
+    StubThread a(1), b(2);
+    sched.addThread(&a);
+    sched.addThread(&b);
+    sched.tick(0);
+    EXPECT_EQ(sched.active(0), &a);
+    // Quantum expires at cycle 100: b takes over, a requeued.
+    sched.tick(100);
+    EXPECT_EQ(sched.active(0), &b);
+    sched.tick(200);
+    EXPECT_EQ(sched.active(0), &a);
+    EXPECT_GE(pmu.rawTotal(EventId::kTimerTicks), 2u);
+}
+
+TEST(Scheduler, NoPreemptionWithoutWaiters)
+{
+    Pmu pmu;
+    Scheduler sched(fastOs(), pmu);
+    sched.setNumContexts(1);
+    StubThread a(1);
+    sched.addThread(&a);
+    sched.tick(0);
+    sched.tick(100);
+    sched.tick(200);
+    EXPECT_EQ(sched.active(0), &a);
+    // Timer ticks still charge kernel work.
+    EXPECT_GT(a.pendingKernelUops(), 0u);
+}
+
+TEST(Scheduler, BlockedThreadIsDescheduled)
+{
+    Pmu pmu;
+    Scheduler sched(fastOs(), pmu);
+    StubThread a(1);
+    sched.addThread(&a);
+    sched.tick(0);
+    EXPECT_EQ(sched.active(0), &a);
+    a.setState(ThreadState::kBlocked);
+    sched.tick(1);
+    EXPECT_EQ(sched.active(0), nullptr);
+}
+
+TEST(Scheduler, WakeRequeuesBlockedThread)
+{
+    Pmu pmu;
+    Scheduler sched(fastOs(), pmu);
+    sched.setNumContexts(1);
+    StubThread a(1), b(2);
+    sched.addThread(&a);
+    sched.addThread(&b);
+    sched.tick(0);
+    a.setState(ThreadState::kBlocked);
+    sched.tick(1); // b dispatched.
+    EXPECT_EQ(sched.active(0), &b);
+    sched.wake(&a);
+    EXPECT_EQ(a.state(), ThreadState::kRunnable);
+    EXPECT_EQ(sched.runQueueDepth(), 1u);
+}
+
+TEST(Scheduler, WakeIgnoresNonBlocked)
+{
+    Pmu pmu;
+    Scheduler sched(fastOs(), pmu);
+    StubThread a(1);
+    sched.addThread(&a);
+    sched.wake(&a); // Already runnable: no double enqueue.
+    sched.tick(0);
+    EXPECT_EQ(sched.active(0), &a);
+    EXPECT_EQ(sched.runQueueDepth(), 0u);
+}
+
+TEST(Scheduler, WakeWhileCurrentDoesNotEnqueue)
+{
+    Pmu pmu;
+    Scheduler sched(fastOs(), pmu);
+    StubThread a(1);
+    sched.addThread(&a);
+    sched.tick(0);
+    a.setState(ThreadState::kBlocked);
+    // Woken before the scheduler noticed the block: stays current,
+    // not queued (which would double-schedule it later).
+    sched.wake(&a);
+    EXPECT_EQ(sched.runQueueDepth(), 0u);
+    sched.tick(1);
+    EXPECT_EQ(sched.active(0), &a);
+}
+
+TEST(Scheduler, ContextSwitchChargesKernelWork)
+{
+    Pmu pmu;
+    Scheduler sched(fastOs(), pmu);
+    StubThread a(1);
+    sched.addThread(&a);
+    sched.tick(0);
+    EXPECT_EQ(a.pendingKernelUops(), 10u);
+    EXPECT_EQ(pmu.rawTotal(EventId::kContextSwitches), 1u);
+}
+
+TEST(Scheduler, DoneThreadNotRescheduled)
+{
+    Pmu pmu;
+    Scheduler sched(fastOs(), pmu);
+    StubThread a(1);
+    sched.addThread(&a);
+    sched.tick(0);
+    a.setState(ThreadState::kDone);
+    sched.tick(1);
+    EXPECT_EQ(sched.active(0), nullptr);
+    sched.tick(2);
+    EXPECT_EQ(sched.active(0), nullptr);
+}
+
+TEST(SchedulerDeath, RejectsBadContextCount)
+{
+    Pmu pmu;
+    Scheduler sched(fastOs(), pmu);
+    EXPECT_EXIT(sched.setNumContexts(0),
+                testing::ExitedWithCode(1), "context count");
+    EXPECT_EXIT(sched.setNumContexts(3),
+                testing::ExitedWithCode(1), "context count");
+}
+
+} // namespace
+} // namespace jsmt

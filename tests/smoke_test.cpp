@@ -1,0 +1,93 @@
+/**
+ * @file
+ * End-to-end smoke tests: a benchmark runs to completion on both
+ * machine modes and produces self-consistent counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.h"
+#include "jvm/benchmarks.h"
+
+namespace jsmt {
+namespace {
+
+constexpr double kTinyScale = 0.02;
+
+TEST(Smoke, SingleThreadedCompletesHtOff)
+{
+    SystemConfig config;
+    config.hyperThreading = false;
+    Machine machine(config);
+    Simulation sim(machine);
+    WorkloadSpec spec;
+    spec.benchmark = "compress";
+    spec.threads = 1;
+    spec.lengthScale = kTinyScale;
+    sim.addProcess(spec);
+    const RunResult result = sim.run();
+    EXPECT_TRUE(result.allComplete);
+    EXPECT_GT(result.cycles, 0u);
+    EXPECT_GT(result.total(EventId::kUopsRetired), 0u);
+}
+
+TEST(Smoke, MultithreadedCompletesHtOn)
+{
+    SystemConfig config;
+    config.hyperThreading = true;
+    Machine machine(config);
+    Simulation sim(machine);
+    WorkloadSpec spec;
+    spec.benchmark = "MolDyn";
+    spec.threads = 2;
+    spec.lengthScale = kTinyScale;
+    sim.addProcess(spec);
+    const RunResult result = sim.run();
+    EXPECT_TRUE(result.allComplete);
+    // Both logical CPUs retired work.
+    EXPECT_GT(result.event(EventId::kUopsRetired, 0), 0u);
+    EXPECT_GT(result.event(EventId::kUopsRetired, 1), 0u);
+}
+
+TEST(Smoke, RetirementHistogramCoversAllCycles)
+{
+    SystemConfig config;
+    Machine machine(config);
+    Simulation sim(machine);
+    WorkloadSpec spec;
+    spec.benchmark = "db";
+    spec.threads = 1;
+    spec.lengthScale = kTinyScale;
+    sim.addProcess(spec);
+    const RunResult result = sim.run();
+    const std::uint64_t histogram =
+        result.total(EventId::kRetire0) +
+        result.total(EventId::kRetire1) +
+        result.total(EventId::kRetire2) +
+        result.total(EventId::kRetire3);
+    EXPECT_EQ(histogram, result.total(EventId::kCycles));
+    // Histogram-weighted retirements equal retired µops.
+    const std::uint64_t weighted =
+        result.total(EventId::kRetire1) +
+        2 * result.total(EventId::kRetire2) +
+        3 * result.total(EventId::kRetire3);
+    EXPECT_EQ(weighted, result.total(EventId::kUopsRetired));
+}
+
+TEST(Smoke, EveryBenchmarkCompletes)
+{
+    for (const std::string& name : benchmarkNames()) {
+        SystemConfig config;
+        Machine machine(config);
+        Simulation sim(machine);
+        WorkloadSpec spec;
+        spec.benchmark = name;
+        spec.lengthScale = kTinyScale;
+        sim.addProcess(spec);
+        const RunResult result = sim.run();
+        EXPECT_TRUE(result.allComplete) << name;
+    }
+}
+
+} // namespace
+} // namespace jsmt

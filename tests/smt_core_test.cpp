@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Unit/integration tests for the SMT core pipeline: static
+ * partitioning arithmetic, retirement bounds, drain behaviour and
+ * counter self-consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/simulation.h"
+#include "jvm/benchmarks.h"
+
+namespace jsmt {
+namespace {
+
+constexpr double kTinyScale = 0.02;
+
+TEST(SmtCore, PartitionArithmetic)
+{
+    SystemConfig config;
+    Machine machine(config);
+    SmtCore& core = machine.core();
+
+    machine.setHyperThreading(true);
+    EXPECT_EQ(core.robCap(0), config.core.robEntries / 2);
+    EXPECT_EQ(core.robCap(1), config.core.robEntries / 2);
+    EXPECT_EQ(core.ldqCap(0), config.core.loadBufEntries / 2);
+    EXPECT_EQ(core.stqCap(1), config.core.storeBufEntries / 2);
+
+    machine.setHyperThreading(false);
+    EXPECT_EQ(core.robCap(0), config.core.robEntries);
+    EXPECT_EQ(core.robCap(1), 0u);
+    EXPECT_EQ(core.ldqCap(0), config.core.loadBufEntries);
+    EXPECT_EQ(core.stqCap(1), 0u);
+}
+
+TEST(SmtCore, StartsDrained)
+{
+    SystemConfig config;
+    Machine machine(config);
+    EXPECT_TRUE(machine.core().drained());
+    EXPECT_EQ(machine.core().robOccupancy(0), 0u);
+}
+
+TEST(SmtCore, DrainsAfterRun)
+{
+    SystemConfig config;
+    Machine machine(config);
+    Simulation sim(machine);
+    WorkloadSpec spec;
+    spec.benchmark = "compress";
+    spec.lengthScale = kTinyScale;
+    sim.addProcess(spec);
+    const RunResult result = sim.run();
+    EXPECT_TRUE(result.allComplete);
+    // Let the pipeline drain the tail (collector kernel work etc.).
+    for (Cycle c = 0; c < 100'000 && !machine.core().drained();
+         ++c) {
+        machine.scheduler().tick(sim.now() + c);
+        machine.core().cycle(sim.now() + c);
+    }
+    EXPECT_TRUE(machine.core().drained());
+}
+
+TEST(SmtCore, RetirementNeverExceedsWidth)
+{
+    SystemConfig config;
+    Machine machine(config);
+    Simulation sim(machine);
+    WorkloadSpec spec;
+    spec.benchmark = "MolDyn";
+    spec.threads = 2;
+    spec.lengthScale = kTinyScale;
+    sim.addProcess(spec);
+    const RunResult result = sim.run();
+    // Histogram buckets only go up to retireWidth.
+    EXPECT_EQ(result.total(EventId::kRetire0) +
+                  result.total(EventId::kRetire1) +
+                  result.total(EventId::kRetire2) +
+                  result.total(EventId::kRetire3),
+              result.total(EventId::kCycles));
+    // IPC can never exceed the retire width.
+    EXPECT_LE(result.ipc(),
+              static_cast<double>(config.core.retireWidth));
+}
+
+TEST(SmtCore, HtOffUsesOnlyContextZero)
+{
+    SystemConfig config;
+    config.hyperThreading = false;
+    Machine machine(config);
+    Simulation sim(machine);
+    WorkloadSpec spec;
+    spec.benchmark = "MolDyn";
+    spec.threads = 2;
+    spec.lengthScale = kTinyScale;
+    sim.addProcess(spec);
+    const RunResult result = sim.run();
+    EXPECT_GT(result.event(EventId::kUopsRetired, 0), 0u);
+    EXPECT_EQ(result.event(EventId::kUopsRetired, 1), 0u);
+    EXPECT_EQ(result.total(EventId::kDualThreadCycles), 0u);
+}
+
+TEST(SmtCore, BusyPlusIdleCoversContextCycles)
+{
+    SystemConfig config;
+    Machine machine(config);
+    Simulation sim(machine);
+    WorkloadSpec spec;
+    spec.benchmark = "db";
+    spec.lengthScale = kTinyScale;
+    sim.addProcess(spec);
+    const RunResult result = sim.run();
+    // Per context: user + os + idle == machine cycles.
+    for (ContextId ctx = 0; ctx < kNumContexts; ++ctx) {
+        EXPECT_EQ(result.event(EventId::kUserCycles, ctx) +
+                      result.event(EventId::kOsCycles, ctx) +
+                      result.event(EventId::kIdleCycles, ctx),
+                  result.total(EventId::kCycles))
+            << "ctx " << ctx;
+    }
+}
+
+TEST(SmtCore, BranchEventsConsistent)
+{
+    SystemConfig config;
+    Machine machine(config);
+    Simulation sim(machine);
+    WorkloadSpec spec;
+    spec.benchmark = "jack"; // Branchy.
+    spec.lengthScale = kTinyScale;
+    sim.addProcess(spec);
+    const RunResult result = sim.run();
+    EXPECT_GT(result.total(EventId::kBranchRetired), 0u);
+    EXPECT_LE(result.total(EventId::kBtbMiss),
+              result.total(EventId::kBtbAccess));
+    EXPECT_LE(result.total(EventId::kBranchMispredict),
+              result.total(EventId::kBranchRetired));
+    EXPECT_GT(result.total(EventId::kBranchMispredict), 0u);
+}
+
+TEST(SmtCore, MemoryEventsConsistent)
+{
+    SystemConfig config;
+    Machine machine(config);
+    Simulation sim(machine);
+    WorkloadSpec spec;
+    spec.benchmark = "db";
+    spec.lengthScale = kTinyScale;
+    sim.addProcess(spec);
+    const RunResult result = sim.run();
+    EXPECT_LE(result.total(EventId::kL1dMiss),
+              result.total(EventId::kL1dAccess));
+    EXPECT_LE(result.total(EventId::kL2Miss),
+              result.total(EventId::kL2Access));
+    EXPECT_EQ(result.total(EventId::kDramAccess),
+              result.total(EventId::kL2Miss));
+    EXPECT_LE(result.total(EventId::kTraceCacheMiss),
+              result.total(EventId::kTraceCacheAccess));
+    // ITLB is only consulted on trace-cache misses.
+    EXPECT_LE(result.total(EventId::kItlbAccess),
+              result.total(EventId::kTraceCacheMiss));
+}
+
+TEST(SmtCoreDeath, RejectsZeroWidths)
+{
+    SystemConfig config;
+    config.core.retireWidth = 0;
+    EXPECT_EXIT(Machine{config}, testing::ExitedWithCode(1),
+                "widths");
+}
+
+} // namespace
+} // namespace jsmt

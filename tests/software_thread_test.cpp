@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the SoftwareThread base: dependence ring, kernel-work
+ * queue and front-end state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/software_thread.h"
+
+namespace jsmt {
+namespace {
+
+class PlainThread : public SoftwareThread
+{
+  public:
+    PlainThread() : SoftwareThread(1, 2) {}
+
+    bool
+    nextBundle(Cycle, FetchBundle& bundle) override
+    {
+        bundle = FetchBundle{};
+        return true;
+    }
+};
+
+TEST(SoftwareThread, SequenceNumbersAreMonotonic)
+{
+    PlainThread thread;
+    const std::uint64_t a = thread.allocSeq();
+    const std::uint64_t b = thread.allocSeq();
+    EXPECT_EQ(b, a + 1);
+}
+
+TEST(SoftwareThread, DependenceRingStoresRecentCompletions)
+{
+    PlainThread thread;
+    for (std::uint64_t seq = 0; seq < 20; ++seq)
+        thread.recordCompletion(seq, 100 + seq);
+    // µop 19 depends on µop 15 (distance 4).
+    EXPECT_EQ(thread.producerCompletion(19, 4), 115u);
+    // Distance 0 means no dependence.
+    EXPECT_EQ(thread.producerCompletion(19, 0), 0u);
+    // Dependences older than the ring read as complete.
+    EXPECT_EQ(thread.producerCompletion(
+                  19, SoftwareThread::kRingSize + 5),
+              0u);
+    // A µop before the ring's start also reads as complete.
+    EXPECT_EQ(thread.producerCompletion(3, 7), 0u);
+}
+
+TEST(SoftwareThread, RingWrapsCorrectly)
+{
+    PlainThread thread;
+    const std::uint64_t far = 5 * SoftwareThread::kRingSize + 17;
+    thread.recordCompletion(far, 9999);
+    EXPECT_EQ(thread.producerCompletion(far + 3, 3), 9999u);
+}
+
+TEST(SoftwareThread, KernelWorkAccumulatesAndDrains)
+{
+    PlainThread thread;
+    EXPECT_EQ(thread.pendingKernelUops(), 0u);
+    thread.addKernelWork(10);
+    thread.addKernelWork(5);
+    EXPECT_EQ(thread.pendingKernelUops(), 15u);
+}
+
+TEST(SoftwareThread, RetireAccounting)
+{
+    PlainThread thread;
+    Uop uop;
+    thread.onRetire(uop, 10);
+    thread.onRetire(uop, 11);
+    EXPECT_EQ(thread.retiredUops(), 2u);
+}
+
+TEST(SoftwareThread, FrontEndStateDefaults)
+{
+    PlainThread thread;
+    ThreadFrontEnd& fe = thread.frontEnd();
+    EXPECT_FALSE(fe.valid);
+    EXPECT_EQ(fe.pos, 0u);
+    EXPECT_EQ(fe.bundleReadyAt, 0u);
+    EXPECT_EQ(fe.nextFetchAt, 0u);
+    // State persists across calls (it belongs to the thread).
+    fe.nextFetchAt = 42;
+    EXPECT_EQ(thread.frontEnd().nextFetchAt, 42u);
+}
+
+TEST(SoftwareThread, StateTransitions)
+{
+    PlainThread thread;
+    EXPECT_EQ(thread.state(), ThreadState::kRunnable);
+    thread.setState(ThreadState::kBlocked);
+    EXPECT_EQ(thread.state(), ThreadState::kBlocked);
+    thread.setState(ThreadState::kDone);
+    EXPECT_EQ(thread.state(), ThreadState::kDone);
+}
+
+} // namespace
+} // namespace jsmt

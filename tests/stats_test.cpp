@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Unit tests for the statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace jsmt {
+namespace {
+
+TEST(Stats, MeanBasics)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({4.0}), 4.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stats, StddevBasics)
+{
+    EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+    EXPECT_NEAR(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+                2.138, 0.001);
+}
+
+TEST(Stats, PercentileInterpolates)
+{
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 2.5);
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 1.75);
+}
+
+TEST(Stats, PercentileUnsortedInput)
+{
+    EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(Stats, BoxSummaryQuartiles)
+{
+    std::vector<double> xs;
+    for (int i = 1; i <= 101; ++i)
+        xs.push_back(static_cast<double>(i));
+    const BoxSummary s = boxSummary(xs);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.q1, 26.0);
+    EXPECT_DOUBLE_EQ(s.median, 51.0);
+    EXPECT_DOUBLE_EQ(s.q3, 76.0);
+    EXPECT_DOUBLE_EQ(s.max, 101.0);
+    EXPECT_DOUBLE_EQ(s.mean, 51.0);
+    EXPECT_EQ(s.count, 101u);
+}
+
+TEST(Stats, BoxSummaryEmpty)
+{
+    const BoxSummary s = boxSummary({});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.median, 0.0);
+}
+
+TEST(Stats, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+}
+
+} // namespace
+} // namespace jsmt

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Randomized stress testing: short runs under randomly perturbed
+ * machine configurations and workload mixes must always complete,
+ * stay deterministic, and keep the counter identities intact.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/simulation.h"
+#include "jvm/benchmarks.h"
+
+namespace jsmt {
+namespace {
+
+SystemConfig
+randomConfig(Rng& rng)
+{
+    SystemConfig config;
+    config.seed = rng.next();
+    config.hyperThreading = rng.chance(0.5);
+    config.core.partitionPolicy = rng.chance(0.5)
+                                      ? PartitionPolicy::kStatic
+                                      : PartitionPolicy::kDynamic;
+    config.core.robEntries =
+        static_cast<std::uint32_t>(rng.between(16, 128)) * 2;
+    config.core.loadBufEntries =
+        static_cast<std::uint32_t>(rng.between(8, 32)) * 2;
+    config.core.storeBufEntries =
+        static_cast<std::uint32_t>(rng.between(4, 16)) * 2;
+    config.core.issueWidth =
+        static_cast<std::uint32_t>(rng.between(1, 6));
+    config.core.retireWidth =
+        static_cast<std::uint32_t>(rng.between(1, 3));
+    config.core.fetchAllocWidth =
+        static_cast<std::uint32_t>(rng.between(1, 4));
+    // Power-of-two cache geometries.
+    config.mem.l1dBytes = 1024ull
+                          << rng.between(3, 6); // 8-64 KB.
+    config.mem.l2Bytes = 1024ull
+                         << rng.between(8, 11); // 256KB-2MB.
+    config.mem.dramCycles =
+        static_cast<std::uint32_t>(rng.between(100, 400));
+    config.os.quantumCycles = rng.between(20'000, 150'000);
+    return config;
+}
+
+TEST(Stress, RandomConfigurationsAlwaysComplete)
+{
+    Rng rng(2026);
+    const auto& names = benchmarkNames();
+    for (int trial = 0; trial < 12; ++trial) {
+        const SystemConfig config = randomConfig(rng);
+        Machine machine(config);
+        Simulation sim(machine);
+        // 1-2 random workloads.
+        const int processes =
+            1 + static_cast<int>(rng.below(2));
+        for (int p = 0; p < processes; ++p) {
+            WorkloadSpec spec;
+            spec.benchmark = names[rng.below(names.size())];
+            spec.threads = static_cast<std::uint32_t>(
+                rng.between(1, 4));
+            spec.lengthScale = 0.01;
+            sim.addProcess(spec);
+        }
+        Simulation::RunOptions options;
+        options.maxCycles = 40'000'000;
+        const RunResult result = sim.run(options);
+        ASSERT_TRUE(result.allComplete)
+            << "trial " << trial << " did not complete";
+        // Identities must hold under any configuration.
+        ASSERT_EQ(result.total(EventId::kRetire1) +
+                      2 * result.total(EventId::kRetire2) +
+                      3 * result.total(EventId::kRetire3),
+                  result.total(EventId::kUopsRetired))
+            << "trial " << trial;
+        ASSERT_LE(result.ipc(),
+                  static_cast<double>(config.core.retireWidth));
+    }
+}
+
+TEST(Stress, RandomConfigurationsAreDeterministic)
+{
+    Rng rng(77);
+    for (int trial = 0; trial < 4; ++trial) {
+        const SystemConfig config = randomConfig(rng);
+        const auto run_once = [&config] {
+            Machine machine(config);
+            Simulation sim(machine);
+            WorkloadSpec spec;
+            spec.benchmark = "RayTracer";
+            spec.threads = 3;
+            spec.lengthScale = 0.01;
+            sim.addProcess(spec);
+            return sim.run().cycles;
+        };
+        ASSERT_EQ(run_once(), run_once()) << "trial " << trial;
+    }
+}
+
+TEST(Stress, ManyProcessesSequentially)
+{
+    // Launch-and-complete a chain of processes on one machine:
+    // asids, scheduler and pipeline state must stay consistent.
+    SystemConfig config;
+    Machine machine(config);
+    Simulation sim(machine);
+    const auto& names = benchmarkNames();
+    Rng rng(5);
+    int completions = 0;
+    WorkloadSpec spec;
+    spec.benchmark = names[0];
+    spec.lengthScale = 0.01;
+    sim.addProcess(spec);
+    Simulation::RunOptions options;
+    options.onProcessExit = [&](Simulation& s, JavaProcess&) {
+        if (++completions >= 8)
+            return false;
+        WorkloadSpec next;
+        next.benchmark = names[rng.below(names.size())];
+        next.threads = 1;
+        next.lengthScale = 0.01;
+        s.addProcess(next);
+        return true;
+    };
+    sim.run(options);
+    EXPECT_EQ(completions, 8);
+    EXPECT_EQ(sim.processes().size(), 8u);
+}
+
+} // namespace
+} // namespace jsmt
