@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_dynamic_partition.cpp" "bench/CMakeFiles/ablation_dynamic_partition.dir/ablation_dynamic_partition.cpp.o" "gcc" "bench/CMakeFiles/ablation_dynamic_partition.dir/ablation_dynamic_partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/jsmt_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/jsmt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/jsmt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/jvm/CMakeFiles/jsmt_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/jsmt_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/jsmt_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/jsmt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/jsmt_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/jsmt_pmu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

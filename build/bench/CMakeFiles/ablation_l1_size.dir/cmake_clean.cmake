@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_l1_size.dir/ablation_l1_size.cpp.o"
+  "CMakeFiles/ablation_l1_size.dir/ablation_l1_size.cpp.o.d"
+  "ablation_l1_size"
+  "ablation_l1_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_l1_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_ipc_multithreaded.dir/fig01_ipc_multithreaded.cpp.o"
+  "CMakeFiles/fig01_ipc_multithreaded.dir/fig01_ipc_multithreaded.cpp.o.d"
+  "fig01_ipc_multithreaded"
+  "fig01_ipc_multithreaded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_ipc_multithreaded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_retirement_profile.dir/fig02_retirement_profile.cpp.o"
+  "CMakeFiles/fig02_retirement_profile.dir/fig02_retirement_profile.cpp.o.d"
+  "fig02_retirement_profile"
+  "fig02_retirement_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_retirement_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

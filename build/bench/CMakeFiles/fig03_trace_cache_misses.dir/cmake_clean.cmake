@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_trace_cache_misses.dir/fig03_trace_cache_misses.cpp.o"
+  "CMakeFiles/fig03_trace_cache_misses.dir/fig03_trace_cache_misses.cpp.o.d"
+  "fig03_trace_cache_misses"
+  "fig03_trace_cache_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_trace_cache_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_l1d_misses.dir/fig04_l1d_misses.cpp.o"
+  "CMakeFiles/fig04_l1d_misses.dir/fig04_l1d_misses.cpp.o.d"
+  "fig04_l1d_misses"
+  "fig04_l1d_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_l1d_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_l2_misses.dir/fig05_l2_misses.cpp.o"
+  "CMakeFiles/fig05_l2_misses.dir/fig05_l2_misses.cpp.o.d"
+  "fig05_l2_misses"
+  "fig05_l2_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_l2_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_itlb_misses.dir/fig06_itlb_misses.cpp.o"
+  "CMakeFiles/fig06_itlb_misses.dir/fig06_itlb_misses.cpp.o.d"
+  "fig06_itlb_misses"
+  "fig06_itlb_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_itlb_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_btb_miss_ratio.dir/fig07_btb_miss_ratio.cpp.o"
+  "CMakeFiles/fig07_btb_miss_ratio.dir/fig07_btb_miss_ratio.cpp.o.d"
+  "fig07_btb_miss_ratio"
+  "fig07_btb_miss_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_btb_miss_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

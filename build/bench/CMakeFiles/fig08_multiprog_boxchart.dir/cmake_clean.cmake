@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_multiprog_boxchart.dir/fig08_multiprog_boxchart.cpp.o"
+  "CMakeFiles/fig08_multiprog_boxchart.dir/fig08_multiprog_boxchart.cpp.o.d"
+  "fig08_multiprog_boxchart"
+  "fig08_multiprog_boxchart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_multiprog_boxchart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

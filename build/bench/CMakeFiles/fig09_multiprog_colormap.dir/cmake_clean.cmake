@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_multiprog_colormap.dir/fig09_multiprog_colormap.cpp.o"
+  "CMakeFiles/fig09_multiprog_colormap.dir/fig09_multiprog_colormap.cpp.o.d"
+  "fig09_multiprog_colormap"
+  "fig09_multiprog_colormap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_multiprog_colormap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig09_multiprog_colormap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_multiprog_colormap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_single_thread_ht_impact.dir/fig10_single_thread_ht_impact.cpp.o"
+  "CMakeFiles/fig10_single_thread_ht_impact.dir/fig10_single_thread_ht_impact.cpp.o.d"
+  "fig10_single_thread_ht_impact"
+  "fig10_single_thread_ht_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_single_thread_ht_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

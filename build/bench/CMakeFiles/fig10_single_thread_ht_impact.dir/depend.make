@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_single_thread_ht_impact.
+# This may be replaced when dependencies are built.

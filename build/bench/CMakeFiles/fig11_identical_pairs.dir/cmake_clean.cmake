@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_identical_pairs.dir/fig11_identical_pairs.cpp.o"
+  "CMakeFiles/fig11_identical_pairs.dir/fig11_identical_pairs.cpp.o.d"
+  "fig11_identical_pairs"
+  "fig11_identical_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_identical_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_thread_scaling.dir/fig12_thread_scaling.cpp.o"
+  "CMakeFiles/fig12_thread_scaling.dir/fig12_thread_scaling.cpp.o.d"
+  "fig12_thread_scaling"
+  "fig12_thread_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_thread_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

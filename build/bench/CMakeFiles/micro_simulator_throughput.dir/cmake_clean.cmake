@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_simulator_throughput.dir/micro_simulator_throughput.cpp.o"
+  "CMakeFiles/micro_simulator_throughput.dir/micro_simulator_throughput.cpp.o.d"
+  "micro_simulator_throughput"
+  "micro_simulator_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_simulator_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

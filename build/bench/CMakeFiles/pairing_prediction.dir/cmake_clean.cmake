@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pairing_prediction.dir/pairing_prediction.cpp.o"
+  "CMakeFiles/pairing_prediction.dir/pairing_prediction.cpp.o.d"
+  "pairing_prediction"
+  "pairing_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pairing_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

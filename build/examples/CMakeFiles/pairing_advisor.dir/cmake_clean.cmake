@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pairing_advisor.dir/pairing_advisor.cpp.o"
+  "CMakeFiles/pairing_advisor.dir/pairing_advisor.cpp.o.d"
+  "pairing_advisor"
+  "pairing_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pairing_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_tuning.dir/server_tuning.cpp.o"
+  "CMakeFiles/server_tuning.dir/server_tuning.cpp.o.d"
+  "server_tuning"
+  "server_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

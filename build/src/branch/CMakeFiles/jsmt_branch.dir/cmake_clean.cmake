@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsmt_branch.dir/branch_unit.cc.o"
+  "CMakeFiles/jsmt_branch.dir/branch_unit.cc.o.d"
+  "CMakeFiles/jsmt_branch.dir/btb.cc.o"
+  "CMakeFiles/jsmt_branch.dir/btb.cc.o.d"
+  "libjsmt_branch.a"
+  "libjsmt_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsmt_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

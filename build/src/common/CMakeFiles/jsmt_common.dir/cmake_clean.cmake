@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsmt_common.dir/log.cc.o"
+  "CMakeFiles/jsmt_common.dir/log.cc.o.d"
+  "CMakeFiles/jsmt_common.dir/rng.cc.o"
+  "CMakeFiles/jsmt_common.dir/rng.cc.o.d"
+  "CMakeFiles/jsmt_common.dir/stats.cc.o"
+  "CMakeFiles/jsmt_common.dir/stats.cc.o.d"
+  "libjsmt_common.a"
+  "libjsmt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsmt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsmt_core.dir/machine.cc.o"
+  "CMakeFiles/jsmt_core.dir/machine.cc.o.d"
+  "CMakeFiles/jsmt_core.dir/run_result.cc.o"
+  "CMakeFiles/jsmt_core.dir/run_result.cc.o.d"
+  "CMakeFiles/jsmt_core.dir/simulation.cc.o"
+  "CMakeFiles/jsmt_core.dir/simulation.cc.o.d"
+  "libjsmt_core.a"
+  "libjsmt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsmt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsmt_harness.dir/experiments.cc.o"
+  "CMakeFiles/jsmt_harness.dir/experiments.cc.o.d"
+  "CMakeFiles/jsmt_harness.dir/multiprogram.cc.o"
+  "CMakeFiles/jsmt_harness.dir/multiprogram.cc.o.d"
+  "CMakeFiles/jsmt_harness.dir/pairing_model.cc.o"
+  "CMakeFiles/jsmt_harness.dir/pairing_model.cc.o.d"
+  "CMakeFiles/jsmt_harness.dir/solo.cc.o"
+  "CMakeFiles/jsmt_harness.dir/solo.cc.o.d"
+  "CMakeFiles/jsmt_harness.dir/table.cc.o"
+  "CMakeFiles/jsmt_harness.dir/table.cc.o.d"
+  "libjsmt_harness.a"
+  "libjsmt_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsmt_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jvm/benchmarks.cc" "src/jvm/CMakeFiles/jsmt_jvm.dir/benchmarks.cc.o" "gcc" "src/jvm/CMakeFiles/jsmt_jvm.dir/benchmarks.cc.o.d"
+  "/root/repo/src/jvm/code_walker.cc" "src/jvm/CMakeFiles/jsmt_jvm.dir/code_walker.cc.o" "gcc" "src/jvm/CMakeFiles/jsmt_jvm.dir/code_walker.cc.o.d"
+  "/root/repo/src/jvm/data_model.cc" "src/jvm/CMakeFiles/jsmt_jvm.dir/data_model.cc.o" "gcc" "src/jvm/CMakeFiles/jsmt_jvm.dir/data_model.cc.o.d"
+  "/root/repo/src/jvm/heap.cc" "src/jvm/CMakeFiles/jsmt_jvm.dir/heap.cc.o" "gcc" "src/jvm/CMakeFiles/jsmt_jvm.dir/heap.cc.o.d"
+  "/root/repo/src/jvm/java_thread.cc" "src/jvm/CMakeFiles/jsmt_jvm.dir/java_thread.cc.o" "gcc" "src/jvm/CMakeFiles/jsmt_jvm.dir/java_thread.cc.o.d"
+  "/root/repo/src/jvm/process.cc" "src/jvm/CMakeFiles/jsmt_jvm.dir/process.cc.o" "gcc" "src/jvm/CMakeFiles/jsmt_jvm.dir/process.cc.o.d"
+  "/root/repo/src/jvm/profile.cc" "src/jvm/CMakeFiles/jsmt_jvm.dir/profile.cc.o" "gcc" "src/jvm/CMakeFiles/jsmt_jvm.dir/profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/jsmt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/jsmt_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/jsmt_pmu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

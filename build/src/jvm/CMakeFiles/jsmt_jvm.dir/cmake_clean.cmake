@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsmt_jvm.dir/benchmarks.cc.o"
+  "CMakeFiles/jsmt_jvm.dir/benchmarks.cc.o.d"
+  "CMakeFiles/jsmt_jvm.dir/code_walker.cc.o"
+  "CMakeFiles/jsmt_jvm.dir/code_walker.cc.o.d"
+  "CMakeFiles/jsmt_jvm.dir/data_model.cc.o"
+  "CMakeFiles/jsmt_jvm.dir/data_model.cc.o.d"
+  "CMakeFiles/jsmt_jvm.dir/heap.cc.o"
+  "CMakeFiles/jsmt_jvm.dir/heap.cc.o.d"
+  "CMakeFiles/jsmt_jvm.dir/java_thread.cc.o"
+  "CMakeFiles/jsmt_jvm.dir/java_thread.cc.o.d"
+  "CMakeFiles/jsmt_jvm.dir/process.cc.o"
+  "CMakeFiles/jsmt_jvm.dir/process.cc.o.d"
+  "CMakeFiles/jsmt_jvm.dir/profile.cc.o"
+  "CMakeFiles/jsmt_jvm.dir/profile.cc.o.d"
+  "libjsmt_jvm.a"
+  "libjsmt_jvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsmt_jvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

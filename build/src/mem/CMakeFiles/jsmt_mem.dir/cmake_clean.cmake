@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsmt_mem.dir/cache.cc.o"
+  "CMakeFiles/jsmt_mem.dir/cache.cc.o.d"
+  "CMakeFiles/jsmt_mem.dir/memory_system.cc.o"
+  "CMakeFiles/jsmt_mem.dir/memory_system.cc.o.d"
+  "CMakeFiles/jsmt_mem.dir/tlb.cc.o"
+  "CMakeFiles/jsmt_mem.dir/tlb.cc.o.d"
+  "libjsmt_mem.a"
+  "libjsmt_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsmt_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

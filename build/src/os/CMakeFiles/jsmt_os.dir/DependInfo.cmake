@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/scheduler.cc" "src/os/CMakeFiles/jsmt_os.dir/scheduler.cc.o" "gcc" "src/os/CMakeFiles/jsmt_os.dir/scheduler.cc.o.d"
+  "/root/repo/src/os/software_thread.cc" "src/os/CMakeFiles/jsmt_os.dir/software_thread.cc.o" "gcc" "src/os/CMakeFiles/jsmt_os.dir/software_thread.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/jsmt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/jsmt_pmu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

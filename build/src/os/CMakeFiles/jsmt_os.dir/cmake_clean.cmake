@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsmt_os.dir/scheduler.cc.o"
+  "CMakeFiles/jsmt_os.dir/scheduler.cc.o.d"
+  "CMakeFiles/jsmt_os.dir/software_thread.cc.o"
+  "CMakeFiles/jsmt_os.dir/software_thread.cc.o.d"
+  "libjsmt_os.a"
+  "libjsmt_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsmt_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmu/abyss.cc" "src/pmu/CMakeFiles/jsmt_pmu.dir/abyss.cc.o" "gcc" "src/pmu/CMakeFiles/jsmt_pmu.dir/abyss.cc.o.d"
+  "/root/repo/src/pmu/events.cc" "src/pmu/CMakeFiles/jsmt_pmu.dir/events.cc.o" "gcc" "src/pmu/CMakeFiles/jsmt_pmu.dir/events.cc.o.d"
+  "/root/repo/src/pmu/pmu.cc" "src/pmu/CMakeFiles/jsmt_pmu.dir/pmu.cc.o" "gcc" "src/pmu/CMakeFiles/jsmt_pmu.dir/pmu.cc.o.d"
+  "/root/repo/src/pmu/sampler.cc" "src/pmu/CMakeFiles/jsmt_pmu.dir/sampler.cc.o" "gcc" "src/pmu/CMakeFiles/jsmt_pmu.dir/sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/jsmt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

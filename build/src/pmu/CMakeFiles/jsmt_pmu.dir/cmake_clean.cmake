@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsmt_pmu.dir/abyss.cc.o"
+  "CMakeFiles/jsmt_pmu.dir/abyss.cc.o.d"
+  "CMakeFiles/jsmt_pmu.dir/events.cc.o"
+  "CMakeFiles/jsmt_pmu.dir/events.cc.o.d"
+  "CMakeFiles/jsmt_pmu.dir/pmu.cc.o"
+  "CMakeFiles/jsmt_pmu.dir/pmu.cc.o.d"
+  "CMakeFiles/jsmt_pmu.dir/sampler.cc.o"
+  "CMakeFiles/jsmt_pmu.dir/sampler.cc.o.d"
+  "libjsmt_pmu.a"
+  "libjsmt_pmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsmt_pmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/smt_core.cc" "src/uarch/CMakeFiles/jsmt_uarch.dir/smt_core.cc.o" "gcc" "src/uarch/CMakeFiles/jsmt_uarch.dir/smt_core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/jsmt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/jsmt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/branch/CMakeFiles/jsmt_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/jsmt_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/jsmt_pmu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

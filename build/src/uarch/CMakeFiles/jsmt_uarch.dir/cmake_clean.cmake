@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsmt_uarch.dir/smt_core.cc.o"
+  "CMakeFiles/jsmt_uarch.dir/smt_core.cc.o.d"
+  "libjsmt_uarch.a"
+  "libjsmt_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsmt_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjsmt_uarch.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abyss_test.dir/abyss_test.cpp.o"
+  "CMakeFiles/abyss_test.dir/abyss_test.cpp.o.d"
+  "abyss_test"
+  "abyss_test.pdb"
+  "abyss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abyss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branch_unit_test.dir/branch_unit_test.cpp.o"
+  "CMakeFiles/branch_unit_test.dir/branch_unit_test.cpp.o.d"
+  "branch_unit_test"
+  "branch_unit_test.pdb"
+  "branch_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branch_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

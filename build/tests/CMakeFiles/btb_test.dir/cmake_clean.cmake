@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btb_test.dir/btb_test.cpp.o"
+  "CMakeFiles/btb_test.dir/btb_test.cpp.o.d"
+  "btb_test"
+  "btb_test.pdb"
+  "btb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/code_walker_test.dir/code_walker_test.cpp.o"
+  "CMakeFiles/code_walker_test.dir/code_walker_test.cpp.o.d"
+  "code_walker_test"
+  "code_walker_test.pdb"
+  "code_walker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/code_walker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

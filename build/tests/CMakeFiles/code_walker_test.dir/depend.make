@@ -1,0 +1,2 @@
+# Empty dependencies file for code_walker_test.
+# This may be replaced when dependencies are built.

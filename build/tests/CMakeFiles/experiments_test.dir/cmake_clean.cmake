@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiments_test.dir/experiments_test.cpp.o"
+  "CMakeFiles/experiments_test.dir/experiments_test.cpp.o.d"
+  "experiments_test"
+  "experiments_test.pdb"
+  "experiments_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiments_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/java_thread_test.dir/java_thread_test.cpp.o"
+  "CMakeFiles/java_thread_test.dir/java_thread_test.cpp.o.d"
+  "java_thread_test"
+  "java_thread_test.pdb"
+  "java_thread_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/java_thread_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pairing_model_test.dir/pairing_model_test.cpp.o"
+  "CMakeFiles/pairing_model_test.dir/pairing_model_test.cpp.o.d"
+  "pairing_model_test"
+  "pairing_model_test.pdb"
+  "pairing_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pairing_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

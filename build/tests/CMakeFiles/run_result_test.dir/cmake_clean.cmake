@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_result_test.dir/run_result_test.cpp.o"
+  "CMakeFiles/run_result_test.dir/run_result_test.cpp.o.d"
+  "run_result_test"
+  "run_result_test.pdb"
+  "run_result_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_result_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/software_thread_test.dir/software_thread_test.cpp.o"
+  "CMakeFiles/software_thread_test.dir/software_thread_test.cpp.o.d"
+  "software_thread_test"
+  "software_thread_test.pdb"
+  "software_thread_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/software_thread_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsmt_run.dir/jsmt_run.cpp.o"
+  "CMakeFiles/jsmt_run.dir/jsmt_run.cpp.o.d"
+  "jsmt_run"
+  "jsmt_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsmt_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

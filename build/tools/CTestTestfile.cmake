@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli.basic_run "/root/repo/build/tools/jsmt_run" "--benchmark" "compress" "--scale" "0.02")
+set_tests_properties(cli.basic_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.multiprogram_run "/root/repo/build/tools/jsmt_run" "--benchmark" "jess" "--benchmark" "db" "--scale" "0.02")
+set_tests_properties(cli.multiprogram_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.threads_and_sampling "/root/repo/build/tools/jsmt_run" "--benchmark" "MolDyn:2" "--scale" "0.02" "--sample-interval" "20000")
+set_tests_properties(cli.threads_and_sampling PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.ht_off_dynamic "/root/repo/build/tools/jsmt_run" "--benchmark" "mpegaudio" "--ht" "off" "--scale" "0.02" "--dynamic-partition")
+set_tests_properties(cli.ht_off_dynamic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.custom_events "/root/repo/build/tools/jsmt_run" "--benchmark" "jack" "--scale" "0.02" "--events" "cycles,l1d_miss,gc_uops")
+set_tests_properties(cli.custom_events PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.list_benchmarks "/root/repo/build/tools/jsmt_run" "--list-benchmarks")
+set_tests_properties(cli.list_benchmarks PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.list_events "/root/repo/build/tools/jsmt_run" "--list-events")
+set_tests_properties(cli.list_events PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.rejects_unknown_benchmark "/root/repo/build/tools/jsmt_run" "--benchmark" "not_a_benchmark")
+set_tests_properties(cli.rejects_unknown_benchmark PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
