@@ -2,9 +2,10 @@
  * @file
  * Shared helpers for the experiment (figure/table) binaries.
  *
- * Every binary accepts an optional scale argument and the
- * JSMT_SCALE environment variable (tests and CI use small scales;
- * 1.0 reproduces the paper-scale runs).
+ * Every binary accepts an optional positional scale argument plus
+ * `--jobs=N` and `--pair-runs=N` flags, with JSMT_SCALE, JSMT_JOBS
+ * and JSMT_PAIR_RUNS environment fallbacks (tests and CI use small
+ * scales; 1.0 reproduces the paper-scale runs).
  */
 
 #ifndef JSMT_BENCH_BENCH_COMMON_H
@@ -15,6 +16,7 @@
 #include <string>
 
 #include "common/log.h"
+#include "exec/task_pool.h"
 #include "harness/experiments.h"
 #include "harness/table.h"
 
@@ -29,13 +31,33 @@ benchConfig(int argc, char** argv, double default_scale = 1.0)
     config.lengthScale = default_scale;
     if (const char* env = std::getenv("JSMT_SCALE"))
         config.lengthScale = std::atof(env);
-    if (argc > 1)
-        config.lengthScale = std::atof(argv[1]);
-    if (config.lengthScale <= 0.0)
-        fatal("scale must be positive");
     if (const char* env = std::getenv("JSMT_PAIR_RUNS"))
         config.pairMinRuns = static_cast<std::size_t>(
             std::atoi(env));
+    // config.jobs stays 0 here: TaskPool resolves 0 through
+    // JSMT_JOBS and hardware_concurrency, so only explicit flags
+    // need to override it.
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--jobs=", 0) == 0) {
+            config.jobs = static_cast<std::size_t>(
+                std::atoi(arg.c_str() + 7));
+        } else if (arg.rfind("--pair-runs=", 0) == 0) {
+            config.pairMinRuns = static_cast<std::size_t>(
+                std::atoi(arg.c_str() + 12));
+        } else if (arg.rfind("--", 0) == 0) {
+            fatal("unknown flag " + arg +
+                  " (expected --jobs=N, --pair-runs=N or a "
+                  "positional scale)");
+        } else {
+            config.lengthScale = std::atof(arg.c_str());
+        }
+    }
+    if (config.lengthScale <= 0.0)
+        fatal("scale must be positive");
+    if (config.pairMinRuns < 3)
+        fatal("pair runs must be at least 3 (first and last "
+              "completions are dropped)");
     return config;
 }
 
@@ -49,7 +71,9 @@ banner(const std::string& what, const ExperimentConfig& config)
         << "Huang, Lin, Zhang, Chang: \"Performance\n"
         << "Characterization of Java Applications on SMT\n"
         << "Processors\", ISPASS 2005 (simulated reproduction)\n"
-        << "scale=" << config.lengthScale << '\n'
+        << "scale=" << config.lengthScale << " jobs="
+        << exec::TaskPool::resolveJobs(config.jobs)
+        << " pair-runs=" << config.pairMinRuns << '\n'
         << "=================================================\n\n";
 }
 

@@ -37,6 +37,9 @@ using ContextId = std::uint32_t;
 /** Number of hardware contexts of the modelled processor. */
 inline constexpr ContextId kNumContexts = 2;
 
+/** Sentinel for "no cycle" / "unboundedly far in the future". */
+inline constexpr Cycle kNoCycle = ~Cycle{0};
+
 /** Sentinel for "no context". */
 inline constexpr ContextId kInvalidContext = ~ContextId{0};
 

@@ -72,7 +72,7 @@ Simulation::run(const RunOptions& options)
     while (!stop_requested && !allProcessesComplete() &&
            _cycle - start < options.maxCycles) {
         _machine.scheduler().tick(_cycle);
-        _machine.core().cycle(_cycle);
+        const bool progressed = _machine.core().cycle(_cycle);
         ++_cycle;
 
         if (_cycle >= next_sample) {
@@ -96,6 +96,29 @@ Simulation::run(const RunOptions& options)
             if (options.onProcessExit &&
                 !options.onProcessExit(*this, *process)) {
                 stop_requested = true;
+            }
+        }
+
+        if (options.fastForward && !progressed && !stop_requested &&
+            !allProcessesComplete()) {
+            // When every context is provably stalled until a known
+            // future cycle, jump the clock there and bulk-account
+            // the skipped cycles instead of simulating them.
+            const Cycle bound =
+                std::min(_machine.core().stallBound(_cycle),
+                         _machine.scheduler().stallBound(_cycle));
+            if (bound > _cycle) {
+                // Stop one cycle short of the next sample point so
+                // onSample fires on the exact same clock edge as the
+                // cycle-by-cycle path.
+                Cycle target = std::min(
+                    {bound, start + options.maxCycles,
+                     next_sample - 1});
+                if (target > _cycle) {
+                    _machine.core().fastForwardAccount(_cycle,
+                                                       target);
+                    _cycle = target;
+                }
             }
         }
     }

@@ -65,6 +65,15 @@ class Simulation
         Cycle sampleIntervalCycles = 0;
         /** Periodic callback; see sampleIntervalCycles. */
         std::function<void(Simulation&, Cycle)> onSample;
+        /**
+         * Fast-forward the cycle loop over provably stalled windows
+         * (every context waiting on a known future cycle: a cache
+         * fill, a branch redirect, the ROB head's completion, an
+         * empty run queue). Skipped cycles are bulk-accounted so the
+         * resulting RunResult is bit-identical to a cycle-by-cycle
+         * run; disable to cross-check that equivalence.
+         */
+        bool fastForward = true;
     };
 
     explicit Simulation(Machine& machine);

@@ -1,0 +1,517 @@
+#include "exec/run_cache.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/log.h"
+
+namespace jsmt::exec {
+
+namespace {
+
+// ---------------------------------------------------------------
+// Minimal JSON reader for the spill format save() writes: objects,
+// arrays, strings (with \" and \\ escapes), unsigned integers and
+// booleans. Anything else is a malformed spill and load() fails
+// gracefully (the cache just starts cold).
+// ---------------------------------------------------------------
+
+struct JsonValue
+{
+    enum class Kind { kNull, kBool, kNumber, kString, kArray,
+                      kObject };
+    Kind kind = Kind::kNull;
+    bool boolean = false;
+    std::uint64_t number = 0;
+    std::string text;
+    std::vector<JsonValue> items;
+    std::vector<std::pair<std::string, JsonValue>> fields;
+
+    const JsonValue*
+    field(const std::string& name) const
+    {
+        for (const auto& [key, value] : fields) {
+            if (key == name)
+                return &value;
+        }
+        return nullptr;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string& text) : _text(text) {}
+
+    bool
+    parse(JsonValue* out)
+    {
+        skipSpace();
+        return parseValue(out) && (skipSpace(), _pos == _text.size());
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (_pos < _text.size() &&
+               (_text[_pos] == ' ' || _text[_pos] == '\t' ||
+                _text[_pos] == '\n' || _text[_pos] == '\r')) {
+            ++_pos;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (_pos >= _text.size() || _text[_pos] != c)
+            return false;
+        ++_pos;
+        return true;
+    }
+
+    bool
+    parseString(std::string* out)
+    {
+        if (!consume('"'))
+            return false;
+        out->clear();
+        while (_pos < _text.size()) {
+            const char c = _text[_pos++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (_pos >= _text.size())
+                    return false;
+                const char esc = _text[_pos++];
+                if (esc != '"' && esc != '\\')
+                    return false;
+                out->push_back(esc);
+            } else {
+                out->push_back(c);
+            }
+        }
+        return false;
+    }
+
+    bool
+    parseValue(JsonValue* out)
+    {
+        skipSpace();
+        if (_pos >= _text.size())
+            return false;
+        const char c = _text[_pos];
+        if (c == '{') {
+            ++_pos;
+            out->kind = JsonValue::Kind::kObject;
+            if (consume('}'))
+                return true;
+            for (;;) {
+                std::string key;
+                JsonValue value;
+                skipSpace();
+                if (!parseString(&key) || !consume(':') ||
+                    !parseValue(&value)) {
+                    return false;
+                }
+                out->fields.emplace_back(std::move(key),
+                                         std::move(value));
+                if (consume(','))
+                    continue;
+                return consume('}');
+            }
+        }
+        if (c == '[') {
+            ++_pos;
+            out->kind = JsonValue::Kind::kArray;
+            if (consume(']'))
+                return true;
+            for (;;) {
+                JsonValue value;
+                if (!parseValue(&value))
+                    return false;
+                out->items.push_back(std::move(value));
+                if (consume(','))
+                    continue;
+                return consume(']');
+            }
+        }
+        if (c == '"') {
+            out->kind = JsonValue::Kind::kString;
+            return parseString(&out->text);
+        }
+        if (c == 't' || c == 'f') {
+            const std::string_view word =
+                c == 't' ? "true" : "false";
+            if (_text.compare(_pos, word.size(), word) != 0)
+                return false;
+            _pos += word.size();
+            out->kind = JsonValue::Kind::kBool;
+            out->boolean = c == 't';
+            return true;
+        }
+        if (c >= '0' && c <= '9') {
+            out->kind = JsonValue::Kind::kNumber;
+            out->number = 0;
+            while (_pos < _text.size() && _text[_pos] >= '0' &&
+                   _text[_pos] <= '9') {
+                out->number =
+                    out->number * 10 +
+                    static_cast<std::uint64_t>(_text[_pos] - '0');
+                ++_pos;
+            }
+            return true;
+        }
+        return false;
+    }
+
+    const std::string& _text;
+    std::size_t _pos = 0;
+};
+
+void
+appendEscaped(std::string& out, const std::string& text)
+{
+    out.push_back('"');
+    for (const char c : text) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    out.push_back('"');
+}
+
+std::uint64_t
+asNumber(const JsonValue* value)
+{
+    return value && value->kind == JsonValue::Kind::kNumber
+               ? value->number
+               : 0;
+}
+
+bool
+asBool(const JsonValue* value)
+{
+    return value && value->kind == JsonValue::Kind::kBool &&
+           value->boolean;
+}
+
+std::string
+asString(const JsonValue* value)
+{
+    return value && value->kind == JsonValue::Kind::kString
+               ? value->text
+               : std::string();
+}
+
+void
+writeResult(std::string& out, const RunResult& result)
+{
+    out += "{\"cycles\":" + std::to_string(result.cycles);
+    out += ",\"allComplete\":";
+    out += result.allComplete ? "true" : "false";
+    out += ",\"events\":[";
+    for (ContextId ctx = 0; ctx < kNumContexts; ++ctx) {
+        if (ctx > 0)
+            out += ',';
+        out += '[';
+        for (std::size_t e = 0; e < kNumEventIds; ++e) {
+            if (e > 0)
+                out += ',';
+            out += std::to_string(result.events[ctx][e]);
+        }
+        out += ']';
+    }
+    out += "],\"processes\":[";
+    for (std::size_t i = 0; i < result.processes.size(); ++i) {
+        const ProcessResult& pr = result.processes[i];
+        if (i > 0)
+            out += ',';
+        out += "{\"pid\":" + std::to_string(pr.pid);
+        out += ",\"benchmark\":";
+        appendEscaped(out, pr.benchmark);
+        out += ",\"complete\":";
+        out += pr.complete ? "true" : "false";
+        out += ",\"launchCycle\":" + std::to_string(pr.launchCycle);
+        out += ",\"completionCycle\":" +
+               std::to_string(pr.completionCycle);
+        out += ",\"durationCycles\":" +
+               std::to_string(pr.durationCycles);
+        out += ",\"gcRuns\":" + std::to_string(pr.gcRuns);
+        out += ",\"allocatedBytes\":" +
+               std::to_string(pr.allocatedBytes);
+        out += '}';
+    }
+    out += "]}";
+}
+
+bool
+readResult(const JsonValue& value, RunResult* out)
+{
+    if (value.kind != JsonValue::Kind::kObject)
+        return false;
+    out->cycles = asNumber(value.field("cycles"));
+    out->allComplete = asBool(value.field("allComplete"));
+    const JsonValue* events = value.field("events");
+    if (!events || events->kind != JsonValue::Kind::kArray ||
+        events->items.size() != kNumContexts) {
+        return false;
+    }
+    for (ContextId ctx = 0; ctx < kNumContexts; ++ctx) {
+        const JsonValue& row = events->items[ctx];
+        if (row.kind != JsonValue::Kind::kArray ||
+            row.items.size() != kNumEventIds) {
+            return false;
+        }
+        for (std::size_t e = 0; e < kNumEventIds; ++e)
+            out->events[ctx][e] = asNumber(&row.items[e]);
+    }
+    out->processes.clear();
+    if (const JsonValue* processes = value.field("processes")) {
+        for (const JsonValue& entry : processes->items) {
+            ProcessResult pr;
+            pr.pid = static_cast<ProcessId>(
+                asNumber(entry.field("pid")));
+            pr.benchmark = asString(entry.field("benchmark"));
+            pr.complete = asBool(entry.field("complete"));
+            pr.launchCycle = asNumber(entry.field("launchCycle"));
+            pr.completionCycle =
+                asNumber(entry.field("completionCycle"));
+            pr.durationCycles =
+                asNumber(entry.field("durationCycles"));
+            pr.gcRuns = asNumber(entry.field("gcRuns"));
+            pr.allocatedBytes =
+                asNumber(entry.field("allocatedBytes"));
+            out->processes.push_back(std::move(pr));
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+RunCache::RunCache(const std::string& spill_path)
+{
+    setSpillPath(spill_path);
+}
+
+RunCache::~RunCache()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (!_spillPath.empty() && _dirty)
+        save(_spillPath);
+}
+
+bool
+RunCache::lookup(const std::string& key, RunResult* out) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    const auto it = _entries.find(key);
+    if (it == _entries.end()) {
+        ++_misses;
+        return false;
+    }
+    ++_hits;
+    if (out)
+        *out = it->second;
+    return true;
+}
+
+void
+RunCache::insert(const std::string& key, const RunResult& result)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _entries[key] = result;
+    _dirty = true;
+}
+
+RunResult
+RunCache::getOrCompute(const std::string& key,
+                       const std::function<RunResult()>& compute)
+{
+    RunResult result;
+    if (lookup(key, &result))
+        return result;
+    result = compute();
+    insert(key, result);
+    return result;
+}
+
+void
+RunCache::setSpillPath(const std::string& path)
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _spillPath = path;
+    }
+    load(path);
+}
+
+bool
+RunCache::load(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+
+    JsonValue root;
+    JsonParser parser(text);
+    if (!parser.parse(&root) ||
+        root.kind != JsonValue::Kind::kObject) {
+        warn("run-cache: ignoring malformed spill file " + path);
+        return false;
+    }
+    const JsonValue* entries = root.field("entries");
+    if (!entries || entries->kind != JsonValue::Kind::kArray) {
+        warn("run-cache: ignoring malformed spill file " + path);
+        return false;
+    }
+
+    std::lock_guard<std::mutex> lock(_mutex);
+    for (const JsonValue& entry : *&entries->items) {
+        if (entry.kind != JsonValue::Kind::kObject)
+            continue;
+        const std::string key = asString(entry.field("key"));
+        const JsonValue* result = entry.field("result");
+        RunResult decoded;
+        if (key.empty() || !result || !readResult(*result, &decoded))
+            continue;
+        _entries.emplace(key, std::move(decoded));
+    }
+    return true;
+}
+
+bool
+RunCache::save(const std::string& path) const
+{
+    std::string out = "{\"version\":1,\"entries\":[\n";
+    {
+        bool first = true;
+        for (const auto& [key, result] : _entries) {
+            if (!first)
+                out += ",\n";
+            first = false;
+            out += "{\"key\":";
+            appendEscaped(out, key);
+            out += ",\"hash\":" + std::to_string(hashKey(key));
+            out += ",\"result\":";
+            writeResult(out, result);
+            out += '}';
+        }
+    }
+    out += "\n]}\n";
+
+    std::ofstream file(path, std::ios::trunc);
+    if (!file)
+        return false;
+    file << out;
+    return static_cast<bool>(file);
+}
+
+void
+RunCache::clear()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _entries.clear();
+    _hits = 0;
+    _misses = 0;
+    _dirty = false;
+}
+
+std::size_t
+RunCache::size() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _entries.size();
+}
+
+std::uint64_t
+RunCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _hits;
+}
+
+std::uint64_t
+RunCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _misses;
+}
+
+RunCache&
+RunCache::global()
+{
+    static RunCache* cache = [] {
+        auto* c = new RunCache();
+        if (const char* path = std::getenv("JSMT_RUN_CACHE"))
+            c->setSpillPath(path);
+        // Spill at normal process exit; leaked on _exit/abort,
+        // which only costs a cold cache next time.
+        std::atexit([] {
+            delete cache;
+            cache = nullptr;
+        });
+        return c;
+    }();
+    if (!cache)
+        fatal("run-cache: global() used after exit handlers ran");
+    return *cache;
+}
+
+std::uint64_t
+hashKey(const std::string& key)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL; // FNV offset basis.
+    for (const unsigned char c : key) {
+        hash ^= c;
+        hash *= 0x100000001b3ULL; // FNV prime.
+    }
+    return hash;
+}
+
+std::string
+describeSystemConfig(const SystemConfig& config)
+{
+    std::ostringstream out;
+    const CoreConfig& core = config.core;
+    const MemConfig& mem = config.mem;
+    const BranchConfig& branch = config.branch;
+    const OsConfig& os = config.os;
+    out << "core=" << core.fetchAllocWidth << '/' << core.issueWidth
+        << '/' << core.retireWidth << '/'
+        << (core.partitionPolicy == PartitionPolicy::kDynamic
+                ? "dyn"
+                : "static")
+        << '/' << core.robEntries << '/' << core.loadBufEntries
+        << '/' << core.storeBufEntries << '/'
+        << core.mispredictRedirectCycles << '/'
+        << core.contextSwitchFlushCycles;
+    out << ";mem=" << mem.traceCacheLines << '/'
+        << mem.traceCacheWays << '/' << mem.uopsPerTraceLine << '/'
+        << mem.l1dBytes << '/' << mem.l1dWays << '/' << mem.l2Bytes
+        << '/' << mem.l2Ways << '/' << mem.lineBytes << '/'
+        << mem.itlbEntries << '/' << mem.itlbWays << '/'
+        << mem.dtlbEntries << '/' << mem.dtlbWays << '/'
+        << mem.pageBytes << '/' << mem.l1dHitCycles << '/'
+        << mem.l2HitCycles << '/' << mem.dramCycles << '/'
+        << mem.pageWalkCycles << '/' << mem.traceBuildCycles << '/'
+        << mem.fsbCyclesPerLine << '/' << mem.l2PortCycles;
+    out << ";branch=" << branch.btb.entries << '/'
+        << branch.btb.ways << '/' << branch.btbMissBubbleCycles
+        << '/' << branch.mispredictRestartCycles;
+    out << ";os=" << os.quantumCycles << '/'
+        << os.contextSwitchUops << '/' << os.timerTickUops;
+    out << ";ht=" << (config.hyperThreading ? 1 : 0);
+    out << ";seed=" << config.seed;
+    return out.str();
+}
+
+} // namespace jsmt::exec

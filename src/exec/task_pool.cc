@@ -1,0 +1,129 @@
+#include "exec/task_pool.h"
+
+#include <cstdlib>
+
+#include "common/log.h"
+
+namespace jsmt::exec {
+
+std::size_t
+TaskPool::defaultJobs()
+{
+    if (const char* env = std::getenv("JSMT_JOBS")) {
+        const long n = std::atol(env);
+        if (n > 0)
+            return static_cast<std::size_t>(n);
+        warn("JSMT_JOBS must be a positive integer; ignoring");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+std::size_t
+TaskPool::resolveJobs(std::size_t requested)
+{
+    return requested > 0 ? requested : defaultJobs();
+}
+
+TaskPool::TaskPool(std::size_t jobs) : _jobs(resolveJobs(jobs))
+{
+    // The calling thread participates in every batch, so spawn one
+    // worker fewer than the job count.
+    for (std::size_t i = 1; i < _jobs; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+TaskPool::~TaskPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _shutdown = true;
+    }
+    _wake.notify_all();
+    for (std::thread& worker : _workers)
+        worker.join();
+}
+
+void
+TaskPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(_mutex);
+    for (;;) {
+        _wake.wait(lock, [&] {
+            return _shutdown || _generation != seen;
+        });
+        if (_shutdown)
+            return;
+        seen = _generation;
+        lock.unlock();
+        drainBatch();
+        lock.lock();
+    }
+}
+
+void
+TaskPool::drainBatch()
+{
+    for (;;) {
+        const std::size_t index =
+            _nextIndex.fetch_add(1, std::memory_order_relaxed);
+        if (index >= _count)
+            return;
+        try {
+            (*_body)(index);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(_mutex);
+            if (!_firstError)
+                _firstError = std::current_exception();
+        }
+        bool last = false;
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            last = ++_finished == _count;
+        }
+        if (last)
+            _batchDone.notify_all();
+    }
+}
+
+void
+TaskPool::parallelFor(std::size_t count,
+                      const std::function<void(std::size_t)>& body)
+{
+    if (count == 0)
+        return;
+    if (_jobs == 1 || count == 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        if (_body != nullptr)
+            fatal("TaskPool: nested parallelFor is not supported");
+        _body = &body;
+        _count = count;
+        _nextIndex.store(0, std::memory_order_relaxed);
+        _finished = 0;
+        _firstError = nullptr;
+        ++_generation;
+    }
+    _wake.notify_all();
+
+    drainBatch();
+
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        _batchDone.wait(lock, [&] { return _finished == _count; });
+        _body = nullptr;
+        error = _firstError;
+        _firstError = nullptr;
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace jsmt::exec

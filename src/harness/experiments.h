@@ -27,6 +27,12 @@ struct ExperimentConfig
     double lengthScale = 1.0;
     /** Completions per program in pair experiments (paper: 12). */
     std::size_t pairMinRuns = 12;
+    /**
+     * Worker threads fanning out independent measurements; 0
+     * resolves via JSMT_JOBS and then hardware_concurrency (see
+     * exec::TaskPool). Results are bit-identical for any value.
+     */
+    std::size_t jobs = 0;
 };
 
 /** One multithreaded benchmark measured HT-off and HT-on. */

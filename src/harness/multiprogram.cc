@@ -1,5 +1,6 @@
 #include "harness/multiprogram.h"
 
+#include <algorithm>
 #include <array>
 #include <map>
 
@@ -24,10 +25,12 @@ droppedMean(const std::vector<double>& durations)
 
 MultiprogramRunner::MultiprogramRunner(const SystemConfig& config,
                                        double length_scale,
-                                       std::size_t min_runs)
+                                       std::size_t min_runs,
+                                       std::size_t jobs)
     : _config(config),
       _lengthScale(length_scale),
-      _minRuns(min_runs)
+      _minRuns(min_runs),
+      _pool(jobs)
 {
     if (min_runs < 3)
         fatal("multiprogram: need at least 3 runs to drop "
@@ -37,17 +40,41 @@ MultiprogramRunner::MultiprogramRunner(const SystemConfig& config,
 double
 MultiprogramRunner::soloDuration(const std::string& benchmark)
 {
-    const auto it = _soloCache.find(benchmark);
-    if (it != _soloCache.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(_soloMutex);
+        const auto it = _soloCache.find(benchmark);
+        if (it != _soloCache.end())
+            return it->second;
+    }
     SoloOptions options;
     options.threads = 1;
     options.lengthScale = _lengthScale;
     const double duration =
-        soloDurationCycles(_config, benchmark,
-                           /*hyper_threading=*/false, options);
+        soloDurationCyclesCached(_config, benchmark,
+                                 /*hyper_threading=*/false, options);
+    std::lock_guard<std::mutex> lock(_soloMutex);
     _soloCache.emplace(benchmark, duration);
     return duration;
+}
+
+void
+MultiprogramRunner::prefetchSolos(
+    const std::vector<std::string>& names)
+{
+    std::vector<std::string> missing;
+    {
+        std::lock_guard<std::mutex> lock(_soloMutex);
+        for (const std::string& name : names) {
+            if (_soloCache.count(name) == 0 &&
+                std::find(missing.begin(), missing.end(), name) ==
+                    missing.end()) {
+                missing.push_back(name);
+            }
+        }
+    }
+    _pool.parallelFor(missing.size(), [&](std::size_t i) {
+        soloDuration(missing[i]);
+    });
 }
 
 PairResult
@@ -98,7 +125,8 @@ MultiprogramRunner::runPair(const std::string& a,
         slot_of[next.pid()] = slot;
         return true;
     };
-    sim.run(options);
+    const RunResult run = sim.run(options);
+    result.coRunCycles = static_cast<double>(run.cycles);
 
     if (durations[0].size() < _minRuns ||
         durations[1].size() < _minRuns) {
@@ -122,19 +150,40 @@ MultiprogramRunner::runPair(const std::string& a,
 }
 
 std::vector<PairResult>
+MultiprogramRunner::runPairs(
+    const std::vector<std::pair<std::string, std::string>>& pairs)
+{
+    std::vector<std::string> names;
+    names.reserve(pairs.size() * 2);
+    for (const auto& [a, b] : pairs) {
+        names.push_back(a);
+        names.push_back(b);
+    }
+    prefetchSolos(names);
+
+    if (verbose()) {
+        inform("multiprogram: " + std::to_string(pairs.size()) +
+               " pairs across " + std::to_string(_pool.jobs()) +
+               " jobs");
+    }
+    std::vector<PairResult> results(pairs.size());
+    _pool.parallelFor(pairs.size(), [&](std::size_t i) {
+        results[i] = runPair(pairs[i].first, pairs[i].second);
+    });
+    return results;
+}
+
+std::vector<PairResult>
 MultiprogramRunner::runCrossProduct(
     const std::vector<std::string>& names)
 {
-    std::vector<PairResult> results;
-    results.reserve(names.size() * names.size());
+    std::vector<std::pair<std::string, std::string>> pairs;
+    pairs.reserve(names.size() * names.size());
     for (const std::string& a : names) {
-        for (const std::string& b : names) {
-            if (verbose())
-                inform("pair " + a + " + " + b);
-            results.push_back(runPair(a, b));
-        }
+        for (const std::string& b : names)
+            pairs.emplace_back(a, b);
     }
-    return results;
+    return runPairs(pairs);
 }
 
 } // namespace jsmt

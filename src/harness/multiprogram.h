@@ -16,10 +16,13 @@
 #define JSMT_HARNESS_MULTIPROGRAM_H
 
 #include <map>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/system_config.h"
+#include "exec/task_pool.h"
 
 namespace jsmt {
 
@@ -42,6 +45,8 @@ struct PairResult
     /** Completions measured (after dropping first and last). */
     std::size_t runsA = 0;
     std::size_t runsB = 0;
+    /** Cycles simulated by the co-run (throughput reporting). */
+    double coRunCycles = 0.0;
 };
 
 /**
@@ -54,10 +59,13 @@ class MultiprogramRunner
      * @param config machine configuration template.
      * @param length_scale benchmark length multiplier.
      * @param min_runs completions required per program (paper: 12).
+     * @param jobs worker threads for batch entry points; 0 resolves
+     *        via JSMT_JOBS / hardware_concurrency (see TaskPool).
      */
     explicit MultiprogramRunner(const SystemConfig& config,
                                 double length_scale = 1.0,
-                                std::size_t min_runs = 12);
+                                std::size_t min_runs = 12,
+                                std::size_t jobs = 0);
 
     /** Co-run @p a and @p b on an HT machine; compute C_AB. */
     PairResult runPair(const std::string& a, const std::string& b);
@@ -65,14 +73,33 @@ class MultiprogramRunner
     /** HT-disabled solo duration (cached across pairs). */
     double soloDuration(const std::string& benchmark);
 
+    /**
+     * Run @p pairs across the worker pool; results are indexed like
+     * @p pairs, so the output is identical for any job count. Solo
+     * baselines of all involved benchmarks are prefetched (also in
+     * parallel) before the pairs fan out.
+     */
+    std::vector<PairResult>
+    runPairs(const std::vector<
+             std::pair<std::string, std::string>>& pairs);
+
     /** @return the full cross product over @p names. */
     std::vector<PairResult>
     runCrossProduct(const std::vector<std::string>& names);
 
+    /** @return resolved worker count. */
+    std::size_t jobs() const { return _pool.jobs(); }
+
   private:
+    /** Warm _soloCache for every name (parallel, deduplicated). */
+    void
+    prefetchSolos(const std::vector<std::string>& names);
+
     SystemConfig _config;
     double _lengthScale;
     std::size_t _minRuns;
+    exec::TaskPool _pool;
+    std::mutex _soloMutex;
     std::map<std::string, double> _soloCache;
 };
 

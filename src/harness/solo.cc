@@ -1,6 +1,9 @@
 #include "harness/solo.h"
 
+#include <cstdio>
+
 #include "common/log.h"
+#include "exec/run_cache.h"
 
 namespace jsmt {
 
@@ -55,6 +58,75 @@ soloDurationCycles(const SystemConfig& config,
     if (!result.allComplete)
         fatal("soloDurationCycles: run did not complete");
     return static_cast<double>(process.durationCycles());
+}
+
+std::string
+soloRunKey(const SystemConfig& config, const std::string& benchmark,
+           bool hyper_threading, const SoloOptions& options)
+{
+    char scale[64];
+    std::snprintf(scale, sizeof(scale), "%.17g",
+                  options.lengthScale);
+    std::string key = "solo|";
+    key += exec::describeSystemConfig(config);
+    key += '|';
+    key += benchmark;
+    key += "|ht=";
+    key += hyper_threading ? '1' : '0';
+    key += "|threads=" + std::to_string(options.threads);
+    key += "|scale=";
+    key += scale;
+    key += "|warmup=";
+    key += options.warmup ? '1' : '0';
+    return key;
+}
+
+RunResult
+measureSoloCached(const SystemConfig& config,
+                  const std::string& benchmark, bool hyper_threading,
+                  const SoloOptions& options)
+{
+    return exec::RunCache::global().getOrCompute(
+        soloRunKey(config, benchmark, hyper_threading, options),
+        [&] {
+            return measureSolo(config, benchmark, hyper_threading,
+                               options);
+        });
+}
+
+double
+soloDurationCyclesCached(const SystemConfig& config,
+                         const std::string& benchmark,
+                         bool hyper_threading,
+                         const SoloOptions& options)
+{
+    // soloDurationCycles runs a single fresh process with no warm-up
+    // and reads its duration; the equivalent RunResult is cacheable
+    // because the measured process is the only one in the run.
+    const std::string key =
+        "solodur|" +
+        soloRunKey(config, benchmark, hyper_threading, options);
+    const RunResult result = exec::RunCache::global().getOrCompute(
+        key, [&] {
+            SystemConfig cfg = config;
+            cfg.hyperThreading = hyper_threading;
+            Machine machine(cfg);
+            Simulation sim(machine);
+
+            WorkloadSpec spec;
+            spec.benchmark = benchmark;
+            spec.threads = options.threads;
+            spec.lengthScale = options.lengthScale;
+            sim.addProcess(spec);
+            RunResult r = sim.run();
+            if (!r.allComplete)
+                fatal("soloDurationCyclesCached: run did not "
+                      "complete");
+            return r;
+        });
+    if (result.processes.empty())
+        fatal("soloDurationCyclesCached: empty cached result");
+    return static_cast<double>(result.processes[0].durationCycles);
 }
 
 } // namespace jsmt

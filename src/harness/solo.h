@@ -54,6 +54,34 @@ double soloDurationCycles(const SystemConfig& config,
                           bool hyper_threading,
                           const SoloOptions& options = {});
 
+/**
+ * Canonical run-cache key for a solo measurement; two calls with the
+ * same key are guaranteed to return identical results (the simulator
+ * is deterministic).
+ */
+std::string soloRunKey(const SystemConfig& config,
+                       const std::string& benchmark,
+                       bool hyper_threading,
+                       const SoloOptions& options);
+
+/**
+ * measureSolo memoized through exec::RunCache::global(). The sweep
+ * drivers call this so the many figures sharing a measurement (e.g.
+ * Figures 3-6 read the same multithreaded sweep through different
+ * counters) simulate each point once per process — or once per
+ * JSMT_RUN_CACHE spill file across processes.
+ */
+RunResult measureSoloCached(const SystemConfig& config,
+                            const std::string& benchmark,
+                            bool hyper_threading,
+                            const SoloOptions& options = {});
+
+/** soloDurationCycles memoized through exec::RunCache::global(). */
+double soloDurationCyclesCached(const SystemConfig& config,
+                                const std::string& benchmark,
+                                bool hyper_threading,
+                                const SoloOptions& options = {});
+
 } // namespace jsmt
 
 #endif // JSMT_HARNESS_SOLO_H

@@ -87,6 +87,26 @@ Scheduler::tick(Cycle now)
     }
 }
 
+Cycle
+Scheduler::stallBound(Cycle now) const
+{
+    Cycle bound = kNoCycle;
+    for (ContextId ctx = 0; ctx < _numContexts; ++ctx) {
+        const SoftwareThread* cur = _current[ctx];
+        if (cur && cur->state() != ThreadState::kRunnable)
+            return now; // Lazy deschedule pending.
+        if (!cur) {
+            if (!_runQueue.empty())
+                return now; // Dispatch pending.
+            continue;
+        }
+        if (now >= _quantumEnd[ctx])
+            return now; // Timer tick pending.
+        bound = std::min(bound, _quantumEnd[ctx]);
+    }
+    return bound;
+}
+
 void
 Scheduler::reset()
 {

@@ -72,6 +72,16 @@ class Scheduler
     /** @return number of threads waiting in the run queue. */
     std::size_t runQueueDepth() const { return _runQueue.size(); }
 
+    /**
+     * Earliest future cycle at which tick() could act, assuming no
+     * thread changes state in between — the scheduler's contribution
+     * to the simulation fast-forward bound. Returns @p now when a
+     * tick at @p now would already act (a lazy deschedule or a
+     * dispatch is pending), the next quantum expiry when threads are
+     * running, and kNoCycle when nothing is scheduled at all.
+     */
+    Cycle stallBound(Cycle now) const;
+
     /** Remove all threads (between harness runs). */
     void reset();
 

@@ -65,6 +65,20 @@ class Pmu
         _raw[ctx][static_cast<std::size_t>(event)] += n;
     }
 
+    /**
+     * Publish @p n occurrences of @p event at once, on behalf of a
+     * window of cycles that was fast-forwarded rather than simulated
+     * one by one (see Simulation::RunOptions::fastForward). The raw
+     * accumulators end up exactly as if record() had been called
+     * once per skipped cycle.
+     */
+    void
+    recordBulk(EventId event, ContextId ctx, std::uint64_t n)
+    {
+        if (n > 0)
+            _raw[ctx][static_cast<std::size_t>(event)] += n;
+    }
+
     /** @return raw accumulated count of @p event on @p ctx. */
     std::uint64_t
     raw(EventId event, ContextId ctx) const

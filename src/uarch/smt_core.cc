@@ -144,7 +144,7 @@ SmtCore::findIssueSlot(Cycle earliest)
     return c;
 }
 
-void
+std::uint32_t
 SmtCore::retireStage(Cycle now)
 {
     std::uint32_t budget = _config.retireWidth;
@@ -156,6 +156,8 @@ SmtCore::retireStage(Cycle now)
     for (std::uint32_t k = 0; k < contexts && budget > 0; ++k) {
         const ContextId ctx = (first + k) % contexts;
         ContextState& cs = _ctx[ctx];
+        std::uint32_t uops = 0;
+        std::uint32_t branches = 0;
         while (budget > 0 && !cs.rob.empty() &&
                cs.rob.front().completion <= now) {
             RobEntry entry = std::move(cs.rob.front());
@@ -164,13 +166,19 @@ SmtCore::retireStage(Cycle now)
                 --cs.ldqOcc;
             else if (entry.type == UopType::kStore)
                 --cs.stqOcc;
-            _pmu.record(EventId::kUopsRetired, ctx);
-            _pmu.record(EventId::kInstrRetired, ctx);
-            if (entry.type == UopType::kBranch)
-                _pmu.record(EventId::kBranchRetired, ctx);
+            else if (entry.type == UopType::kBranch)
+                ++branches;
             entry.thread->onRetire(entry.uop, now);
             --budget;
-            ++retired_total;
+            ++uops;
+        }
+        // Per-cycle batched counter updates (hot path: one PMU
+        // access per event line instead of one per retired µop).
+        if (uops > 0) {
+            _pmu.recordBulk(EventId::kUopsRetired, ctx, uops);
+            _pmu.recordBulk(EventId::kInstrRetired, ctx, uops);
+            _pmu.recordBulk(EventId::kBranchRetired, ctx, branches);
+            retired_total += uops;
         }
     }
 
@@ -180,6 +188,7 @@ SmtCore::retireStage(Cycle now)
         EventId::kRetire3};
     _pmu.record(kHistogram[std::min<std::uint32_t>(retired_total, 3)],
                 0);
+    return retired_total;
 }
 
 std::uint32_t
@@ -345,7 +354,7 @@ SmtCore::allocFromContext(ContextId ctx, Cycle now,
     return used;
 }
 
-void
+std::uint32_t
 SmtCore::fetchAllocStage(Cycle now)
 {
     const std::uint32_t contexts = activeContexts();
@@ -360,7 +369,7 @@ SmtCore::fetchAllocStage(Cycle now)
     ContextId ctx = first;
     if (contexts > 1 && _scheduler.active(first) == nullptr)
         ctx = (first + 1) % contexts;
-    allocFromContext(ctx, now, budget);
+    return allocFromContext(ctx, now, budget);
 }
 
 void
@@ -387,12 +396,134 @@ SmtCore::accountCycle(Cycle now)
         _pmu.record(EventId::kSingleThreadCycles, 0);
 }
 
-void
+bool
 SmtCore::cycle(Cycle now)
 {
-    retireStage(now);
-    fetchAllocStage(now);
+    const std::uint32_t retired = retireStage(now);
+    const std::uint32_t allocated = fetchAllocStage(now);
     accountCycle(now);
+    return retired + allocated > 0;
+}
+
+Cycle
+SmtCore::stallBound(Cycle now) const
+{
+    Cycle bound = kNoCycle;
+    const std::uint32_t contexts = activeContexts();
+    for (ContextId ctx = 0; ctx < contexts; ++ctx) {
+        const ContextState& cs = _ctx[ctx];
+        if (!cs.rob.empty()) {
+            const Cycle head = cs.rob.front().completion;
+            if (head <= now)
+                return now; // A retirement is due.
+            bound = std::min(bound, head);
+        }
+        const SoftwareThread* thread = _scheduler.active(ctx);
+        if (!thread)
+            continue;
+        if (thread != cs.lastThread)
+            return now; // Context-switch flush not yet taken.
+        const ThreadFrontEnd& fe =
+            const_cast<SoftwareThread*>(thread)->frontEnd();
+        const Cycle gate = std::max(
+            cs.resumeAt,
+            fe.valid ? fe.bundleReadyAt : fe.nextFetchAt);
+        if (gate > now) {
+            bound = std::min(bound, gate);
+            continue;
+        }
+        if (!fe.valid)
+            return now; // A new trace line could be fetched now.
+        // Line ready but the window may have no room; the retirement
+        // that frees a slot is already covered by a ROB-head bound
+        // (a full queue implies a non-empty ROB).
+        const Uop& uop = fe.bundle.uops[fe.pos];
+        const bool blocked =
+            robFull(ctx) ||
+            (uop.type == UopType::kLoad && ldqFull(ctx)) ||
+            (uop.type == UopType::kStore && stqFull(ctx));
+        if (!blocked)
+            return now; // Allocation can proceed this cycle.
+    }
+    return bound;
+}
+
+EventId
+SmtCore::stallEventFor(ContextId ctx, Cycle now) const
+{
+    const ContextState& cs = _ctx[ctx];
+    const SoftwareThread* thread = _scheduler.active(ctx);
+    const ThreadFrontEnd& fe =
+        const_cast<SoftwareThread*>(thread)->frontEnd();
+    const Cycle gate = std::max(
+        cs.resumeAt, fe.valid ? fe.bundleReadyAt : fe.nextFetchAt);
+    if (gate > now)
+        return EventId::kFetchStallCycles;
+    // Resource-blocked, mirroring allocFromContext's check order.
+    if (robFull(ctx))
+        return EventId::kRobFullStall;
+    return fe.bundle.uops[fe.pos].type == UopType::kLoad
+               ? EventId::kLdqFullStall
+               : EventId::kStqFullStall;
+}
+
+void
+SmtCore::fastForwardAccount(Cycle from, Cycle to)
+{
+    if (to <= from)
+        return;
+    const std::uint64_t window = to - from;
+    const std::uint32_t contexts = activeContexts();
+
+    // retireStage: every skipped cycle retires zero µops.
+    _pmu.recordBulk(EventId::kRetire0, 0, window);
+
+    // accountCycle: cycle counting and busy/idle attribution. The
+    // active-thread set and kernel-mode flags cannot change inside a
+    // provably stalled window.
+    _pmu.recordBulk(EventId::kCycles, 0, window);
+    std::uint32_t active = 0;
+    for (ContextId ctx = 0; ctx < contexts; ++ctx) {
+        if (!_scheduler.active(ctx)) {
+            _pmu.recordBulk(EventId::kIdleCycles, ctx, window);
+            continue;
+        }
+        ++active;
+        _pmu.recordBulk(_ctx[ctx].kernelMode ? EventId::kOsCycles
+                                             : EventId::kUserCycles,
+                        ctx, window);
+    }
+    if (active == 2)
+        _pmu.recordBulk(EventId::kDualThreadCycles, 0, window);
+    else if (active == 1)
+        _pmu.recordBulk(EventId::kSingleThreadCycles, 0, window);
+
+    // fetchAllocStage: the one chosen context records one stall
+    // event per cycle. With both contexts occupied the P4-style
+    // alternation splits the window by cycle parity; otherwise the
+    // occupied context (if any) owns every cycle.
+    std::array<std::uint64_t, kNumContexts> chosen{};
+    if (contexts == 1) {
+        chosen[0] = _scheduler.active(0) ? window : 0;
+    } else {
+        const bool has0 = _scheduler.active(0) != nullptr;
+        const bool has1 = _scheduler.active(1) != nullptr;
+        // Cycles c in [from, to) with (c & 1) == 0.
+        const std::uint64_t even = (to + 1) / 2 - (from + 1) / 2;
+        if (has0 && has1) {
+            chosen[0] = even;
+            chosen[1] = window - even;
+        } else if (has0) {
+            chosen[0] = window;
+        } else if (has1) {
+            chosen[1] = window;
+        }
+    }
+    for (ContextId ctx = 0; ctx < contexts; ++ctx) {
+        if (chosen[ctx] > 0)
+            _pmu.recordBulk(stallEventFor(ctx, from), ctx,
+                            chosen[ctx]);
+    }
 }
 
 } // namespace jsmt

@@ -63,8 +63,36 @@ class SmtCore
     /** @return whether Hyper-Threading is enabled. */
     bool hyperThreading() const { return _hyperThreading; }
 
-    /** Advance the machine by one cycle. */
-    void cycle(Cycle now);
+    /**
+     * Advance the machine by one cycle.
+     * @return whether the cycle made progress (retired or allocated
+     *         at least one µop). A no-progress cycle is the cue for
+     *         the driver to probe stallBound() for a skippable
+     *         window.
+     */
+    bool cycle(Cycle now);
+
+    /**
+     * Earliest future cycle at which the core could do real work
+     * (retire a µop, fetch a line, allocate, detect a context
+     * switch), assuming the scheduler takes no action in between.
+     * Returns @p now when cycle(now) may make progress — i.e. the
+     * window is not provably stalled — and kNoCycle when nothing is
+     * in flight at all. The simulation driver uses this to jump the
+     * clock over provably idle windows (long cache misses, drained
+     * contexts) instead of simulating them cycle by cycle.
+     */
+    Cycle stallBound(Cycle now) const;
+
+    /**
+     * Account a fast-forwarded window of cycles [@p from, @p to):
+     * bulk-record exactly the PMU events the per-cycle path would
+     * have recorded for stalled cycles (kCycles, the retire-0
+     * histogram bin, idle/user/OS cycle attribution and the
+     * per-context stall event). Only valid when
+     * stallBound(from) >= @p to.
+     */
+    void fastForwardAccount(Cycle from, Cycle to);
 
     /** @return true when no µops are in flight. */
     bool drained() const;
@@ -116,8 +144,10 @@ class SmtCore
         bool kernelMode = false;
     };
 
-    void retireStage(Cycle now);
-    void fetchAllocStage(Cycle now);
+    std::uint32_t retireStage(Cycle now);
+    std::uint32_t fetchAllocStage(Cycle now);
+    /** Stall event @p ctx records per cycle in a stalled window. */
+    EventId stallEventFor(ContextId ctx, Cycle now) const;
     std::uint32_t allocFromContext(ContextId ctx, Cycle now,
                                    std::uint32_t budget);
     void accountCycle(Cycle now);

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Tests for the parallel experiment engine: TaskPool scheduling and
+ * exception semantics, RunCache memoization and JSON spill, and the
+ * determinism gate — the same measurements must be bit-identical
+ * whether they run serially, across many jobs, or replay from the
+ * cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/simulation.h"
+#include "exec/run_cache.h"
+#include "exec/task_pool.h"
+#include "harness/solo.h"
+#include "jvm/benchmarks.h"
+
+namespace jsmt {
+namespace {
+
+using exec::RunCache;
+using exec::TaskPool;
+
+constexpr double kTinyScale = 0.02;
+
+void
+expectIdenticalResults(const RunResult& a, const RunResult& b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.allComplete, b.allComplete);
+    for (ContextId ctx = 0; ctx < kNumContexts; ++ctx) {
+        for (std::size_t e = 0; e < kNumEventIds; ++e) {
+            EXPECT_EQ(a.events[ctx][e], b.events[ctx][e])
+                << "event " << eventName(static_cast<EventId>(e))
+                << " on context " << static_cast<int>(ctx);
+        }
+    }
+    ASSERT_EQ(a.processes.size(), b.processes.size());
+    for (std::size_t i = 0; i < a.processes.size(); ++i) {
+        EXPECT_EQ(a.processes[i].benchmark,
+                  b.processes[i].benchmark);
+        EXPECT_EQ(a.processes[i].durationCycles,
+                  b.processes[i].durationCycles);
+        EXPECT_EQ(a.processes[i].gcRuns, b.processes[i].gcRuns);
+        EXPECT_EQ(a.processes[i].allocatedBytes,
+                  b.processes[i].allocatedBytes);
+    }
+}
+
+TEST(TaskPool, RunsEveryIndexExactlyOnce)
+{
+    TaskPool pool(4);
+    std::vector<int> touched(997, 0);
+    pool.parallelFor(touched.size(), [&](std::size_t i) {
+        ++touched[i]; // Each index is claimed by exactly one worker.
+    });
+    for (std::size_t i = 0; i < touched.size(); ++i)
+        ASSERT_EQ(touched[i], 1) << "index " << i;
+}
+
+TEST(TaskPool, SingleJobRunsInline)
+{
+    TaskPool pool(1);
+    EXPECT_EQ(pool.jobs(), 1u);
+    const auto caller = std::this_thread::get_id();
+    bool inline_everywhere = true;
+    pool.parallelFor(16, [&](std::size_t) {
+        if (std::this_thread::get_id() != caller)
+            inline_everywhere = false;
+    });
+    EXPECT_TRUE(inline_everywhere);
+}
+
+TEST(TaskPool, MapCollectsByIndex)
+{
+    TaskPool pool(3);
+    const std::vector<int> squares =
+        pool.map<int>(50, [](std::size_t i) {
+            return static_cast<int>(i * i);
+        });
+    ASSERT_EQ(squares.size(), 50u);
+    for (std::size_t i = 0; i < squares.size(); ++i)
+        EXPECT_EQ(squares[i], static_cast<int>(i * i));
+}
+
+TEST(TaskPool, FirstExceptionPropagatesAndPoolSurvives)
+{
+    TaskPool pool(2);
+    EXPECT_THROW(pool.parallelFor(32,
+                                  [](std::size_t i) {
+                                      if (i == 7) {
+                                          throw std::runtime_error(
+                                              "boom");
+                                      }
+                                  }),
+                 std::runtime_error);
+    // The pool is reusable after a failed batch.
+    std::vector<int> touched(8, 0);
+    pool.parallelFor(touched.size(),
+                     [&](std::size_t i) { ++touched[i]; });
+    for (const int count : touched)
+        EXPECT_EQ(count, 1);
+}
+
+TEST(TaskPool, JobResolutionHonorsEnvironment)
+{
+    EXPECT_EQ(TaskPool::resolveJobs(5), 5u);
+    setenv("JSMT_JOBS", "3", 1);
+    EXPECT_EQ(TaskPool::defaultJobs(), 3u);
+    EXPECT_EQ(TaskPool::resolveJobs(0), 3u);
+    unsetenv("JSMT_JOBS");
+    EXPECT_GE(TaskPool::resolveJobs(0), 1u);
+}
+
+TEST(RunCache, MissComputesAndHitReplays)
+{
+    RunCache cache;
+    int computes = 0;
+    const auto compute = [&] {
+        ++computes;
+        RunResult result;
+        result.cycles = 42;
+        result.allComplete = true;
+        return result;
+    };
+    const RunResult first = cache.getOrCompute("k", compute);
+    const RunResult second = cache.getOrCompute("k", compute);
+    EXPECT_EQ(computes, 1);
+    EXPECT_EQ(first.cycles, 42u);
+    EXPECT_EQ(second.cycles, 42u);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(RunCache, SpillRoundTripPreservesEverything)
+{
+    RunResult result;
+    result.cycles = 123456;
+    result.allComplete = true;
+    for (ContextId ctx = 0; ctx < kNumContexts; ++ctx) {
+        for (std::size_t e = 0; e < kNumEventIds; ++e) {
+            result.events[ctx][e] =
+                1000 * (ctx + 1) + static_cast<std::uint64_t>(e);
+        }
+    }
+    ProcessResult pr;
+    pr.pid = 7;
+    pr.benchmark = "compress";
+    pr.complete = true;
+    pr.launchCycle = 10;
+    pr.completionCycle = 110;
+    pr.durationCycles = 100;
+    pr.gcRuns = 3;
+    pr.allocatedBytes = 65536;
+    result.processes.push_back(pr);
+
+    const std::string path =
+        testing::TempDir() + "jsmt_exec_test_spill.json";
+    {
+        RunCache cache;
+        cache.insert("spill-key", result);
+        ASSERT_TRUE(cache.save(path));
+    }
+    RunCache reloaded;
+    ASSERT_TRUE(reloaded.load(path));
+    EXPECT_EQ(reloaded.size(), 1u);
+    RunResult back;
+    ASSERT_TRUE(reloaded.lookup("spill-key", &back));
+    expectIdenticalResults(result, back);
+    EXPECT_EQ(back.processes[0].pid, 7u);
+    EXPECT_EQ(back.processes[0].launchCycle, 10u);
+    EXPECT_EQ(back.processes[0].completionCycle, 110u);
+    std::remove(path.c_str());
+}
+
+TEST(RunCache, MalformedSpillIsIgnored)
+{
+    const std::string path =
+        testing::TempDir() + "jsmt_exec_test_garbage.json";
+    {
+        std::ofstream out(path);
+        out << "{\"entries\": not json at all";
+    }
+    RunCache cache;
+    EXPECT_FALSE(cache.load(path));
+    EXPECT_EQ(cache.size(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(RunCache, DescribeSystemConfigCoversTheConfig)
+{
+    const SystemConfig base;
+    SystemConfig bigger_l2 = base;
+    bigger_l2.mem.l2Bytes *= 2;
+    SystemConfig other_seed = base;
+    other_seed.seed = 7;
+    SystemConfig ht_off = base;
+    ht_off.hyperThreading = false;
+    SystemConfig dynamic = base;
+    dynamic.core.partitionPolicy = PartitionPolicy::kDynamic;
+
+    const std::string description =
+        exec::describeSystemConfig(base);
+    EXPECT_EQ(description, exec::describeSystemConfig(base));
+    EXPECT_NE(description,
+              exec::describeSystemConfig(bigger_l2));
+    EXPECT_NE(description,
+              exec::describeSystemConfig(other_seed));
+    EXPECT_NE(description, exec::describeSystemConfig(ht_off));
+    EXPECT_NE(description, exec::describeSystemConfig(dynamic));
+}
+
+TEST(RunCache, HashKeyIsFnv1a)
+{
+    // FNV-1a offset basis for the empty string; distinct elsewhere.
+    EXPECT_EQ(exec::hashKey(""), 0xcbf29ce484222325ULL);
+    EXPECT_NE(exec::hashKey("a"), exec::hashKey("b"));
+}
+
+// The determinism gate: the same measurement matrix must produce
+// bit-identical results serially, under many jobs, and through the
+// cache. On a single-core host the 8-job pool still exercises the
+// cross-thread path (7 workers plus the caller).
+TEST(ExecDeterminism, ParallelJobsMatchSerial)
+{
+    const SystemConfig config;
+    struct Point
+    {
+        const char* benchmark;
+        bool ht;
+    };
+    const std::vector<Point> points = {
+        {"compress", false},
+        {"compress", true},
+        {"jess", true},
+        {"db", false},
+    };
+    SoloOptions options;
+    options.threads = 1;
+    options.lengthScale = kTinyScale;
+
+    std::vector<RunResult> serial;
+    serial.reserve(points.size());
+    for (const Point& point : points) {
+        serial.push_back(measureSolo(config, point.benchmark,
+                                     point.ht, options));
+    }
+
+    TaskPool pool(8);
+    const std::vector<RunResult> parallel =
+        pool.map<RunResult>(points.size(), [&](std::size_t i) {
+            return measureSolo(config, points[i].benchmark,
+                               points[i].ht, options);
+        });
+
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        expectIdenticalResults(serial[i], parallel[i]);
+}
+
+TEST(ExecDeterminism, CachedReplayMatchesFreshRun)
+{
+    const SystemConfig config;
+    SoloOptions options;
+    options.threads = 1;
+    options.lengthScale = kTinyScale;
+
+    const RunResult fresh =
+        measureSolo(config, "mpegaudio", true, options);
+
+    RunCache cache;
+    const std::string key =
+        soloRunKey(config, "mpegaudio", true, options);
+    const auto compute = [&] {
+        return measureSolo(config, "mpegaudio", true, options);
+    };
+    const RunResult computed = cache.getOrCompute(key, compute);
+    const RunResult replayed = cache.getOrCompute(key, compute);
+    EXPECT_EQ(cache.hits(), 1u);
+    expectIdenticalResults(fresh, computed);
+    expectIdenticalResults(fresh, replayed);
+}
+
+TEST(ExecDeterminism, SpilledReplayMatchesFreshRun)
+{
+    const SystemConfig config;
+    SoloOptions options;
+    options.threads = 1;
+    options.lengthScale = kTinyScale;
+    const std::string key =
+        soloRunKey(config, "jack", false, options);
+    const std::string path =
+        testing::TempDir() + "jsmt_exec_test_roundtrip.json";
+
+    const RunResult fresh =
+        measureSolo(config, "jack", false, options);
+    {
+        RunCache cache;
+        cache.insert(key, fresh);
+        ASSERT_TRUE(cache.save(path));
+    }
+    RunCache warm(path);
+    RunResult replayed;
+    ASSERT_TRUE(warm.lookup(key, &replayed));
+    expectIdenticalResults(fresh, replayed);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace jsmt

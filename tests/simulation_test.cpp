@@ -181,6 +181,98 @@ TEST(Simulation, ProcessResultsPopulated)
     EXPECT_GT(pr.allocatedBytes, 0u);
 }
 
+// Fast-forward (bulk-accounting provably stalled windows) must be
+// invisible: every counter on every context, the final cycle count
+// and all process results have to match the cycle-by-cycle path.
+void
+expectIdenticalRuns(const RunResult& ff, const RunResult& plain)
+{
+    EXPECT_EQ(ff.cycles, plain.cycles);
+    EXPECT_EQ(ff.allComplete, plain.allComplete);
+    for (ContextId ctx = 0; ctx < kNumContexts; ++ctx) {
+        for (std::size_t e = 0; e < kNumEventIds; ++e) {
+            EXPECT_EQ(ff.events[ctx][e], plain.events[ctx][e])
+                << "event " << eventName(static_cast<EventId>(e))
+                << " on context " << static_cast<int>(ctx);
+        }
+    }
+    ASSERT_EQ(ff.processes.size(), plain.processes.size());
+    for (std::size_t i = 0; i < ff.processes.size(); ++i) {
+        EXPECT_EQ(ff.processes[i].durationCycles,
+                  plain.processes[i].durationCycles);
+        EXPECT_EQ(ff.processes[i].gcRuns,
+                  plain.processes[i].gcRuns);
+    }
+}
+
+RunResult
+runWorkloads(const std::vector<WorkloadSpec>& specs,
+             bool hyper_threading, bool fast_forward,
+             Cycle sample_interval = 0, int* samples = nullptr)
+{
+    SystemConfig config;
+    config.hyperThreading = hyper_threading;
+    Machine machine(config);
+    Simulation sim(machine);
+    for (const WorkloadSpec& spec : specs)
+        sim.addProcess(spec);
+    Simulation::RunOptions options;
+    options.fastForward = fast_forward;
+    if (sample_interval > 0) {
+        options.sampleIntervalCycles = sample_interval;
+        options.onSample = [&](Simulation&, Cycle) {
+            if (samples)
+                ++*samples;
+        };
+    }
+    return sim.run(options);
+}
+
+TEST(SimulationFastForward, IdenticalToCycleByCycleSolo)
+{
+    WorkloadSpec spec;
+    spec.benchmark = "compress";
+    spec.threads = 1;
+    spec.lengthScale = kTinyScale;
+    for (const bool ht : {false, true}) {
+        const RunResult ff = runWorkloads({spec}, ht, true);
+        const RunResult plain = runWorkloads({spec}, ht, false);
+        expectIdenticalRuns(ff, plain);
+    }
+}
+
+TEST(SimulationFastForward, IdenticalToCycleByCycleMultiprogrammed)
+{
+    WorkloadSpec a;
+    a.benchmark = "jess";
+    a.threads = 1;
+    a.lengthScale = kTinyScale;
+    WorkloadSpec b;
+    b.benchmark = "db";
+    b.threads = 1;
+    b.lengthScale = kTinyScale;
+    const RunResult ff = runWorkloads({a, b}, true, true);
+    const RunResult plain = runWorkloads({a, b}, true, false);
+    expectIdenticalRuns(ff, plain);
+}
+
+TEST(SimulationFastForward, SamplingSeesTheSameClockEdges)
+{
+    WorkloadSpec spec;
+    spec.benchmark = "mpegaudio";
+    spec.threads = 1;
+    spec.lengthScale = kTinyScale;
+    int ff_samples = 0;
+    int plain_samples = 0;
+    const RunResult ff =
+        runWorkloads({spec}, true, true, 10'000, &ff_samples);
+    const RunResult plain =
+        runWorkloads({spec}, true, false, 10'000, &plain_samples);
+    expectIdenticalRuns(ff, plain);
+    EXPECT_EQ(ff_samples, plain_samples);
+    EXPECT_GT(ff_samples, 0);
+}
+
 TEST(SimulationDeath, UnknownBenchmark)
 {
     SystemConfig config;

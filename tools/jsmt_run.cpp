@@ -20,8 +20,16 @@
  *                                  headline set)
  *     --sample-interval N          also print a time series sampled
  *                                  every N cycles
+ *     --no-fast-forward            simulate every stalled cycle
+ *                                  (cross-check for the fast-forward
+ *                                  optimisation; results must be
+ *                                  identical)
  *     --list-benchmarks            print the registry and exit
  *     --list-events                print the event catalogue, exit
+ *
+ * When JSMT_RUN_CACHE names a file, non-sampled runs are memoized
+ * there: repeating an invocation replays the cached RunResult
+ * instead of re-simulating.
  *
  * Examples:
  *   jsmt_run --benchmark PseudoJBB:4
@@ -38,6 +46,7 @@
 
 #include "common/log.h"
 #include "core/simulation.h"
+#include "exec/run_cache.h"
 #include "harness/table.h"
 #include "jvm/benchmarks.h"
 #include "pmu/abyss.h"
@@ -59,6 +68,7 @@ struct Options
         "l2_miss",    "trace_cache_miss",  "itlb_miss",
         "btb_miss",   "branch_mispredict", "os_cycles"};
     Cycle sampleInterval = 0;
+    bool fastForward = true;
 };
 
 [[noreturn]] void
@@ -70,6 +80,7 @@ usage(int code)
                  "[--seed N]\n"
                  "                [--events a,b,c] "
                  "[--sample-interval N]\n"
+                 "                [--no-fast-forward]\n"
                  "                [--list-benchmarks] "
                  "[--list-events]\n";
     std::exit(code);
@@ -125,6 +136,8 @@ parseArgs(int argc, char** argv)
         } else if (arg == "--sample-interval") {
             options.sampleInterval = static_cast<Cycle>(
                 std::atoll(next().c_str()));
+        } else if (arg == "--no-fast-forward") {
+            options.fastForward = false;
         } else if (arg == "--list-benchmarks") {
             for (const auto& name : benchmarkNames()) {
                 const WorkloadProfile& profile =
@@ -206,13 +219,36 @@ main(int argc, char** argv)
 
     AbyssSampler sampler(machine.pmu(), events);
     Simulation::RunOptions run_options;
+    run_options.fastForward = options.fastForward;
     if (options.sampleInterval > 0) {
         run_options.sampleIntervalCycles = options.sampleInterval;
         run_options.onSample = [&](Simulation&, Cycle now) {
             sampler.sample(now);
         };
     }
-    const RunResult result = sim.run(run_options);
+
+    RunResult result;
+    if (options.sampleInterval == 0) {
+        // Non-sampled runs are fully described by their RunResult,
+        // so they can replay from the memo (spilled to
+        // $JSMT_RUN_CACHE across invocations).
+        std::string key =
+            "runcli|" + exec::describeSystemConfig(config);
+        for (const auto& spec : options.workloads) {
+            key += '|' + spec.benchmark + ':' +
+                   std::to_string(spec.threads);
+        }
+        {
+            std::ostringstream tail;
+            tail << "|scale=" << options.scale
+                 << "|ff=" << (options.fastForward ? 1 : 0);
+            key += tail.str();
+        }
+        result = exec::RunCache::global().getOrCompute(
+            key, [&] { return sim.run(run_options); });
+    } else {
+        result = sim.run(run_options);
+    }
 
     std::cout << "machine: HT "
               << (options.hyperThreading ? "on" : "off")
