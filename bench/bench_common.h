@@ -65,6 +65,7 @@ benchConfig(int argc, char** argv, double default_scale = 1.0)
 inline void
 banner(const std::string& what, const ExperimentConfig& config)
 {
+    const char* trace_env = std::getenv("JSMT_TRACE");
     std::cout
         << "=================================================\n"
         << what << '\n'
@@ -73,7 +74,11 @@ banner(const std::string& what, const ExperimentConfig& config)
         << "Processors\", ISPASS 2005 (simulated reproduction)\n"
         << "scale=" << config.lengthScale << " jobs="
         << exec::TaskPool::resolveJobs(config.jobs)
-        << " pair-runs=" << config.pairMinRuns << '\n'
+        << " pair-runs=" << config.pairMinRuns << " tracing="
+        << (trace_env != nullptr && *trace_env != '\0'
+                ? "on (JSMT_TRACE; jsmt_run only)"
+                : "off")
+        << '\n'
         << "=================================================\n\n";
 }
 

@@ -15,6 +15,7 @@
  * google-benchmark.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -30,6 +31,7 @@
 #include "jvm/code_walker.h"
 #include "jvm/data_model.h"
 #include "mem/cache.h"
+#include "trace/trace_sink.h"
 
 namespace {
 
@@ -98,6 +100,50 @@ BM_EndToEndSimulation(benchmark::State& state)
 }
 BENCHMARK(BM_EndToEndSimulation)->Unit(benchmark::kMillisecond);
 
+/**
+ * Wall seconds for one fixed solo run, optionally with a disabled
+ * TraceSink attached — the configuration whose overhead the trace
+ * layer promises to keep under 2%.
+ */
+double
+soloRunSeconds(double scale, bool attach_disabled_sink)
+{
+    SystemConfig config;
+    Machine machine(config);
+    trace::TraceSink sink; // Constructed disabled.
+    if (attach_disabled_sink)
+        machine.setTraceSink(&sink);
+    Simulation sim(machine);
+    WorkloadSpec spec;
+    spec.benchmark = "compress";
+    spec.threads = 1;
+    spec.lengthScale = scale;
+    sim.addProcess(spec);
+    const auto start = std::chrono::steady_clock::now();
+    const RunResult result = sim.run();
+    benchmark::DoNotOptimize(result.cycles);
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/**
+ * Relative slowdown (percent) of a disabled-tracer run against a
+ * tracer-free run; best-of-N on both sides to shed scheduler noise.
+ */
+double
+traceOverheadPct(double scale)
+{
+    constexpr int kRepeats = 3;
+    double off = 1e30;
+    double disabled = 1e30;
+    for (int i = 0; i < kRepeats; ++i) {
+        off = std::min(off, soloRunSeconds(scale, false));
+        disabled = std::min(disabled, soloRunSeconds(scale, true));
+    }
+    return off > 0.0 ? (disabled - off) / off * 100.0 : 0.0;
+}
+
 int
 runPairMatrixThroughput(int argc, char** argv)
 {
@@ -124,14 +170,19 @@ runPairMatrixThroughput(int argc, char** argv)
     const double mcycles_per_sec =
         wall_seconds > 0.0 ? cycles / 1e6 / wall_seconds : 0.0;
 
+    const double trace_overhead_pct =
+        traceOverheadPct(config.lengthScale);
+
     std::printf("{\"bench\":\"simulator_throughput\","
                 "\"pairs\":%zu,\"pair_runs\":%zu,"
                 "\"scale\":%g,\"jobs\":%zu,"
                 "\"cycles\":%.0f,\"wall_seconds\":%.3f,"
-                "\"mcycles_per_sec\":%.2f}\n",
+                "\"mcycles_per_sec\":%.2f,"
+                "\"trace_overhead_pct\":%.2f}\n",
                 cells.size(), config.pairMinRuns,
                 config.lengthScale, runner.jobs(), cycles,
-                wall_seconds, mcycles_per_sec);
+                wall_seconds, mcycles_per_sec,
+                trace_overhead_pct);
     return 0;
 }
 

@@ -54,6 +54,18 @@ class Btb
     /** @return lookups that missed. */
     std::uint64_t misses() const { return _cache.misses(); }
 
+    /**
+     * @return entries evicted by the other logical processor (or
+     * another process). In HT mode the context id participates in
+     * the tag, so this counts the destructive cross-thread
+     * competition behind the paper's Figure 7.
+     */
+    std::uint64_t
+    crossAsidEvictions() const
+    {
+        return _cache.crossAsidEvictions();
+    }
+
     /** Zero local statistics. */
     void clearStats() { _cache.clearStats(); }
 

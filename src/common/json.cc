@@ -1,0 +1,251 @@
+#include "common/json.h"
+
+#include <cstdlib>
+
+namespace jsmt::json {
+
+const Value*
+Value::field(const std::string& name) const
+{
+    for (const auto& [key, value] : fields) {
+        if (key == name)
+            return &value;
+    }
+    return nullptr;
+}
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string& text) : _text(text) {}
+
+    bool
+    parse(Value* out)
+    {
+        skipSpace();
+        return parseValue(out) &&
+               (skipSpace(), _pos == _text.size());
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (_pos < _text.size() &&
+               (_text[_pos] == ' ' || _text[_pos] == '\t' ||
+                _text[_pos] == '\n' || _text[_pos] == '\r')) {
+            ++_pos;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (_pos >= _text.size() || _text[_pos] != c)
+            return false;
+        ++_pos;
+        return true;
+    }
+
+    bool
+    parseString(std::string* out)
+    {
+        if (!consume('"'))
+            return false;
+        out->clear();
+        while (_pos < _text.size()) {
+            const char c = _text[_pos++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (_pos >= _text.size())
+                    return false;
+                const char esc = _text[_pos++];
+                if (esc != '"' && esc != '\\')
+                    return false;
+                out->push_back(esc);
+            } else {
+                out->push_back(c);
+            }
+        }
+        return false;
+    }
+
+    bool
+    parseNumber(Value* out)
+    {
+        const std::size_t start = _pos;
+        bool integral = true;
+        if (_pos < _text.size() && _text[_pos] == '-') {
+            integral = false;
+            ++_pos;
+        }
+        std::uint64_t magnitude = 0;
+        bool any_digit = false;
+        while (_pos < _text.size() && _text[_pos] >= '0' &&
+               _text[_pos] <= '9') {
+            magnitude =
+                magnitude * 10 +
+                static_cast<std::uint64_t>(_text[_pos] - '0');
+            ++_pos;
+            any_digit = true;
+        }
+        if (!any_digit)
+            return false;
+        if (_pos < _text.size() && _text[_pos] == '.') {
+            integral = false;
+            ++_pos;
+            bool frac_digit = false;
+            while (_pos < _text.size() && _text[_pos] >= '0' &&
+                   _text[_pos] <= '9') {
+                ++_pos;
+                frac_digit = true;
+            }
+            if (!frac_digit)
+                return false;
+        }
+        if (_pos < _text.size() &&
+            (_text[_pos] == 'e' || _text[_pos] == 'E')) {
+            integral = false;
+            ++_pos;
+            if (_pos < _text.size() &&
+                (_text[_pos] == '+' || _text[_pos] == '-')) {
+                ++_pos;
+            }
+            bool exp_digit = false;
+            while (_pos < _text.size() && _text[_pos] >= '0' &&
+                   _text[_pos] <= '9') {
+                ++_pos;
+                exp_digit = true;
+            }
+            if (!exp_digit)
+                return false;
+        }
+        out->kind = Value::Kind::kNumber;
+        out->number = integral ? magnitude : 0;
+        out->real = std::strtod(
+            _text.substr(start, _pos - start).c_str(), nullptr);
+        return true;
+    }
+
+    bool
+    parseValue(Value* out)
+    {
+        skipSpace();
+        if (_pos >= _text.size())
+            return false;
+        const char c = _text[_pos];
+        if (c == '{') {
+            ++_pos;
+            out->kind = Value::Kind::kObject;
+            if (consume('}'))
+                return true;
+            for (;;) {
+                std::string key;
+                Value value;
+                skipSpace();
+                if (!parseString(&key) || !consume(':') ||
+                    !parseValue(&value)) {
+                    return false;
+                }
+                out->fields.emplace_back(std::move(key),
+                                         std::move(value));
+                if (consume(','))
+                    continue;
+                return consume('}');
+            }
+        }
+        if (c == '[') {
+            ++_pos;
+            out->kind = Value::Kind::kArray;
+            if (consume(']'))
+                return true;
+            for (;;) {
+                Value value;
+                if (!parseValue(&value))
+                    return false;
+                out->items.push_back(std::move(value));
+                if (consume(','))
+                    continue;
+                return consume(']');
+            }
+        }
+        if (c == '"') {
+            out->kind = Value::Kind::kString;
+            return parseString(&out->text);
+        }
+        if (c == 't' || c == 'f' || c == 'n') {
+            const std::string_view word =
+                c == 't' ? "true" : (c == 'f' ? "false" : "null");
+            if (_text.compare(_pos, word.size(), word) != 0)
+                return false;
+            _pos += word.size();
+            out->kind = c == 'n' ? Value::Kind::kNull
+                                 : Value::Kind::kBool;
+            out->boolean = c == 't';
+            return true;
+        }
+        if (c == '-' || (c >= '0' && c <= '9'))
+            return parseNumber(out);
+        return false;
+    }
+
+    const std::string& _text;
+    std::size_t _pos = 0;
+};
+
+} // namespace
+
+bool
+parse(const std::string& text, Value* out)
+{
+    return Parser(text).parse(out);
+}
+
+std::uint64_t
+asNumber(const Value* value)
+{
+    return value && value->kind == Value::Kind::kNumber
+               ? value->number
+               : 0;
+}
+
+double
+asReal(const Value* value)
+{
+    return value && value->kind == Value::Kind::kNumber
+               ? value->real
+               : 0.0;
+}
+
+bool
+asBool(const Value* value)
+{
+    return value && value->kind == Value::Kind::kBool &&
+           value->boolean;
+}
+
+std::string
+asString(const Value* value)
+{
+    return value && value->kind == Value::Kind::kString
+               ? value->text
+               : std::string();
+}
+
+void
+appendEscaped(std::string& out, const std::string& text)
+{
+    out.push_back('"');
+    for (const char c : text) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    out.push_back('"');
+}
+
+} // namespace jsmt::json

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Minimal JSON support shared by the run-cache spill, the trace /
+ * metrics exporters and the golden-run regression suite.
+ *
+ * The dialect is the subset those producers emit: objects, arrays,
+ * strings (with \" and \\ escapes), numbers (unsigned integers plus
+ * an optional sign / fraction / exponent, kept as both uint64 and
+ * double), booleans and null. parse() is strict — trailing bytes,
+ * unknown escapes or unterminated values fail — so a truncated or
+ * corrupt document is rejected as a whole rather than half-read.
+ */
+
+#ifndef JSMT_COMMON_JSON_H
+#define JSMT_COMMON_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace jsmt::json {
+
+/** One parsed JSON value (tree-owning). */
+struct Value
+{
+    enum class Kind { kNull, kBool, kNumber, kString, kArray,
+                      kObject };
+    Kind kind = Kind::kNull;
+    bool boolean = false;
+    /** Integer reading of a number (0 when negative/fractional). */
+    std::uint64_t number = 0;
+    /** Floating reading of a number (always populated). */
+    double real = 0.0;
+    std::string text;
+    std::vector<Value> items;
+    std::vector<std::pair<std::string, Value>> fields;
+
+    /** @return the named object field, or nullptr. */
+    const Value* field(const std::string& name) const;
+
+    bool isObject() const { return kind == Kind::kObject; }
+    bool isArray() const { return kind == Kind::kArray; }
+    bool isNumber() const { return kind == Kind::kNumber; }
+    bool isString() const { return kind == Kind::kString; }
+};
+
+/**
+ * Parse @p text into @p out.
+ * @return false on any syntax error (out is then unspecified).
+ */
+bool parse(const std::string& text, Value* out);
+
+/** @return field as unsigned integer, 0 if absent/mistyped. */
+std::uint64_t asNumber(const Value* value);
+
+/** @return field as double, 0.0 if absent/mistyped. */
+double asReal(const Value* value);
+
+/** @return field as bool, false if absent/mistyped. */
+bool asBool(const Value* value);
+
+/** @return field as string, "" if absent/mistyped. */
+std::string asString(const Value* value);
+
+/** Append @p text to @p out as a quoted, escaped JSON string. */
+void appendEscaped(std::string& out, const std::string& text);
+
+} // namespace jsmt::json
+
+#endif // JSMT_COMMON_JSON_H

@@ -12,6 +12,7 @@
 #include "mem/memory_system.h"
 #include "os/scheduler.h"
 #include "pmu/pmu.h"
+#include "trace/trace_sink.h"
 #include "uarch/smt_core.h"
 
 namespace jsmt {
@@ -54,6 +55,23 @@ class Machine
     SmtCore& core() { return _core; }
     ///@}
 
+    /**
+     * Attach (or detach, with nullptr) an event tracer to every
+     * instrumented component. The sink is borrowed, not owned; it
+     * must outlive the machine or be detached first.
+     */
+    void
+    setTraceSink(trace::TraceSink* sink)
+    {
+        _traceSink = sink;
+        _mem.setTraceSink(sink);
+        _scheduler.setTraceSink(sink);
+        _core.setTraceSink(sink);
+    }
+
+    /** @return the attached tracer, or nullptr. */
+    trace::TraceSink* traceSink() const { return _traceSink; }
+
   private:
     SystemConfig _config;
     Pmu _pmu;
@@ -61,6 +79,7 @@ class Machine
     BranchUnit _branch;
     Scheduler _scheduler;
     SmtCore _core;
+    trace::TraceSink* _traceSink = nullptr;
     Asid _nextAsid = 1;
 };
 

@@ -27,6 +27,11 @@ Simulation::addProcess(const WorkloadSpec& spec)
         pid, asid, profile, threads, spec.lengthScale, seed,
         _machine.scheduler(), _machine.pmu());
     process->launch(_cycle);
+    trace::TraceSink* const sink = _machine.traceSink();
+    if (sink != nullptr && sink->enabled()) {
+        sink->instantText(trace::Track::kSim, "process_launch",
+                          _cycle, "benchmark", profile.name);
+    }
     JavaProcess& ref = *process;
     _live.push_back(process.get());
     _processes.push_back(std::move(process));
@@ -49,6 +54,11 @@ RunResult
 Simulation::run(const RunOptions& options)
 {
     RunResult result;
+
+    if (options.trace != nullptr)
+        _machine.setTraceSink(options.trace);
+    trace::TraceSink* const sink = _machine.traceSink();
+    const bool tracing = sink != nullptr && sink->enabled();
 
     // Snapshot PMU raw counts to report deltas for this run.
     std::array<std::array<std::uint64_t, kNumEventIds>, kNumContexts>
@@ -78,6 +88,8 @@ Simulation::run(const RunOptions& options)
         if (_cycle >= next_sample) {
             if (options.onSample)
                 options.onSample(*this, _cycle);
+            if (tracing)
+                sink->instant(trace::Track::kSim, "sample", _cycle);
             next_sample += options.sampleIntervalCycles;
         }
 
@@ -93,6 +105,11 @@ Simulation::run(const RunOptions& options)
             }
         }
         for (JavaProcess* process : just_completed) {
+            if (tracing) {
+                sink->instantText(trace::Track::kSim, "process_exit",
+                                  _cycle, "benchmark",
+                                  process->profile().name);
+            }
             if (options.onProcessExit &&
                 !options.onProcessExit(*this, *process)) {
                 stop_requested = true;
@@ -122,6 +139,9 @@ Simulation::run(const RunOptions& options)
             }
         }
     }
+
+    if (tracing)
+        sink->complete(trace::Track::kSim, "run", start, _cycle);
 
     result.cycles = _cycle - start;
     result.allComplete = allProcessesComplete();

@@ -74,6 +74,15 @@ class Simulation
          * run; disable to cross-check that equivalence.
          */
         bool fastForward = true;
+        /**
+         * When non-null, attached to the machine for the duration of
+         * this run (and left attached afterwards): the simulator
+         * emits run/launch/exit/sample events plus per-component
+         * pipeline and memory events into it. Borrowed, not owned.
+         * Tracing never changes RunResult — event counts are
+         * bit-identical with and without a sink.
+         */
+        trace::TraceSink* trace = nullptr;
     };
 
     explicit Simulation(Machine& machine);

@@ -6,207 +6,17 @@
 #include <utility>
 #include <vector>
 
+#include "common/json.h"
 #include "common/log.h"
 
 namespace jsmt::exec {
 
 namespace {
 
-// ---------------------------------------------------------------
-// Minimal JSON reader for the spill format save() writes: objects,
-// arrays, strings (with \" and \\ escapes), unsigned integers and
-// booleans. Anything else is a malformed spill and load() fails
-// gracefully (the cache just starts cold).
-// ---------------------------------------------------------------
-
-struct JsonValue
-{
-    enum class Kind { kNull, kBool, kNumber, kString, kArray,
-                      kObject };
-    Kind kind = Kind::kNull;
-    bool boolean = false;
-    std::uint64_t number = 0;
-    std::string text;
-    std::vector<JsonValue> items;
-    std::vector<std::pair<std::string, JsonValue>> fields;
-
-    const JsonValue*
-    field(const std::string& name) const
-    {
-        for (const auto& [key, value] : fields) {
-            if (key == name)
-                return &value;
-        }
-        return nullptr;
-    }
-};
-
-class JsonParser
-{
-  public:
-    explicit JsonParser(const std::string& text) : _text(text) {}
-
-    bool
-    parse(JsonValue* out)
-    {
-        skipSpace();
-        return parseValue(out) && (skipSpace(), _pos == _text.size());
-    }
-
-  private:
-    void
-    skipSpace()
-    {
-        while (_pos < _text.size() &&
-               (_text[_pos] == ' ' || _text[_pos] == '\t' ||
-                _text[_pos] == '\n' || _text[_pos] == '\r')) {
-            ++_pos;
-        }
-    }
-
-    bool
-    consume(char c)
-    {
-        skipSpace();
-        if (_pos >= _text.size() || _text[_pos] != c)
-            return false;
-        ++_pos;
-        return true;
-    }
-
-    bool
-    parseString(std::string* out)
-    {
-        if (!consume('"'))
-            return false;
-        out->clear();
-        while (_pos < _text.size()) {
-            const char c = _text[_pos++];
-            if (c == '"')
-                return true;
-            if (c == '\\') {
-                if (_pos >= _text.size())
-                    return false;
-                const char esc = _text[_pos++];
-                if (esc != '"' && esc != '\\')
-                    return false;
-                out->push_back(esc);
-            } else {
-                out->push_back(c);
-            }
-        }
-        return false;
-    }
-
-    bool
-    parseValue(JsonValue* out)
-    {
-        skipSpace();
-        if (_pos >= _text.size())
-            return false;
-        const char c = _text[_pos];
-        if (c == '{') {
-            ++_pos;
-            out->kind = JsonValue::Kind::kObject;
-            if (consume('}'))
-                return true;
-            for (;;) {
-                std::string key;
-                JsonValue value;
-                skipSpace();
-                if (!parseString(&key) || !consume(':') ||
-                    !parseValue(&value)) {
-                    return false;
-                }
-                out->fields.emplace_back(std::move(key),
-                                         std::move(value));
-                if (consume(','))
-                    continue;
-                return consume('}');
-            }
-        }
-        if (c == '[') {
-            ++_pos;
-            out->kind = JsonValue::Kind::kArray;
-            if (consume(']'))
-                return true;
-            for (;;) {
-                JsonValue value;
-                if (!parseValue(&value))
-                    return false;
-                out->items.push_back(std::move(value));
-                if (consume(','))
-                    continue;
-                return consume(']');
-            }
-        }
-        if (c == '"') {
-            out->kind = JsonValue::Kind::kString;
-            return parseString(&out->text);
-        }
-        if (c == 't' || c == 'f') {
-            const std::string_view word =
-                c == 't' ? "true" : "false";
-            if (_text.compare(_pos, word.size(), word) != 0)
-                return false;
-            _pos += word.size();
-            out->kind = JsonValue::Kind::kBool;
-            out->boolean = c == 't';
-            return true;
-        }
-        if (c >= '0' && c <= '9') {
-            out->kind = JsonValue::Kind::kNumber;
-            out->number = 0;
-            while (_pos < _text.size() && _text[_pos] >= '0' &&
-                   _text[_pos] <= '9') {
-                out->number =
-                    out->number * 10 +
-                    static_cast<std::uint64_t>(_text[_pos] - '0');
-                ++_pos;
-            }
-            return true;
-        }
-        return false;
-    }
-
-    const std::string& _text;
-    std::size_t _pos = 0;
-};
-
-void
-appendEscaped(std::string& out, const std::string& text)
-{
-    out.push_back('"');
-    for (const char c : text) {
-        if (c == '"' || c == '\\')
-            out.push_back('\\');
-        out.push_back(c);
-    }
-    out.push_back('"');
-}
-
-std::uint64_t
-asNumber(const JsonValue* value)
-{
-    return value && value->kind == JsonValue::Kind::kNumber
-               ? value->number
-               : 0;
-}
-
-bool
-asBool(const JsonValue* value)
-{
-    return value && value->kind == JsonValue::Kind::kBool &&
-           value->boolean;
-}
-
-std::string
-asString(const JsonValue* value)
-{
-    return value && value->kind == JsonValue::Kind::kString
-               ? value->text
-               : std::string();
-}
+using json::appendEscaped;
+using json::asBool;
+using json::asNumber;
+using json::asString;
 
 void
 writeResult(std::string& out, const RunResult& result)
@@ -250,29 +60,32 @@ writeResult(std::string& out, const RunResult& result)
 }
 
 bool
-readResult(const JsonValue& value, RunResult* out)
+readResult(const json::Value& value, RunResult* out)
 {
-    if (value.kind != JsonValue::Kind::kObject)
+    if (!value.isObject())
         return false;
     out->cycles = asNumber(value.field("cycles"));
     out->allComplete = asBool(value.field("allComplete"));
-    const JsonValue* events = value.field("events");
-    if (!events || events->kind != JsonValue::Kind::kArray ||
+    const json::Value* events = value.field("events");
+    if (!events || !events->isArray() ||
         events->items.size() != kNumContexts) {
         return false;
     }
     for (ContextId ctx = 0; ctx < kNumContexts; ++ctx) {
-        const JsonValue& row = events->items[ctx];
-        if (row.kind != JsonValue::Kind::kArray ||
-            row.items.size() != kNumEventIds) {
+        const json::Value& row = events->items[ctx];
+        if (!row.isArray() || row.items.size() != kNumEventIds)
             return false;
-        }
         for (std::size_t e = 0; e < kNumEventIds; ++e)
             out->events[ctx][e] = asNumber(&row.items[e]);
     }
     out->processes.clear();
-    if (const JsonValue* processes = value.field("processes")) {
-        for (const JsonValue& entry : processes->items) {
+    const json::Value* processes = value.field("processes");
+    if (!processes || !processes->isArray())
+        return false;
+    {
+        for (const json::Value& entry : processes->items) {
+            if (!entry.isObject())
+                return false;
             ProcessResult pr;
             pr.pid = static_cast<ProcessId>(
                 asNumber(entry.field("pid")));
@@ -361,30 +174,41 @@ RunCache::load(const std::string& path)
     buffer << in.rdbuf();
     const std::string text = buffer.str();
 
-    JsonValue root;
-    JsonParser parser(text);
-    if (!parser.parse(&root) ||
-        root.kind != JsonValue::Kind::kObject) {
+    // All-or-nothing: decode the whole document before touching the
+    // cache, and reject the file outright when any entry is
+    // malformed. A spill truncated mid-write (crash, full disk) must
+    // never half-load — a cache silently missing entries would be
+    // indistinguishable from one holding stale ones.
+    json::Value root;
+    if (!json::parse(text, &root) || !root.isObject()) {
         warn("run-cache: ignoring malformed spill file " + path);
         return false;
     }
-    const JsonValue* entries = root.field("entries");
-    if (!entries || entries->kind != JsonValue::Kind::kArray) {
+    const json::Value* entries = root.field("entries");
+    if (!entries || !entries->isArray()) {
         warn("run-cache: ignoring malformed spill file " + path);
         return false;
+    }
+    std::vector<std::pair<std::string, RunResult>> decoded;
+    decoded.reserve(entries->items.size());
+    for (const json::Value& entry : entries->items) {
+        if (!entry.isObject()) {
+            warn("run-cache: ignoring malformed spill file " + path);
+            return false;
+        }
+        const std::string key = asString(entry.field("key"));
+        const json::Value* result = entry.field("result");
+        RunResult value;
+        if (key.empty() || !result || !readResult(*result, &value)) {
+            warn("run-cache: ignoring malformed spill file " + path);
+            return false;
+        }
+        decoded.emplace_back(key, std::move(value));
     }
 
     std::lock_guard<std::mutex> lock(_mutex);
-    for (const JsonValue& entry : *&entries->items) {
-        if (entry.kind != JsonValue::Kind::kObject)
-            continue;
-        const std::string key = asString(entry.field("key"));
-        const JsonValue* result = entry.field("result");
-        RunResult decoded;
-        if (key.empty() || !result || !readResult(*result, &decoded))
-            continue;
-        _entries.emplace(key, std::move(decoded));
-    }
+    for (auto& [key, value] : decoded)
+        _entries.emplace(std::move(key), std::move(value));
     return true;
 }
 

@@ -6,6 +6,26 @@
 
 namespace jsmt::exec {
 
+namespace {
+
+/** Process-wide execution totals (metrics export). */
+std::atomic<std::uint64_t> g_totalTasks{0};
+std::atomic<std::uint64_t> g_totalBatches{0};
+
+} // namespace
+
+std::uint64_t
+TaskPool::totalTasksRun()
+{
+    return g_totalTasks.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+TaskPool::totalBatchesRun()
+{
+    return g_totalBatches.load(std::memory_order_relaxed);
+}
+
 std::size_t
 TaskPool::defaultJobs()
 {
@@ -93,6 +113,8 @@ TaskPool::parallelFor(std::size_t count,
 {
     if (count == 0)
         return;
+    g_totalBatches.fetch_add(1, std::memory_order_relaxed);
+    g_totalTasks.fetch_add(count, std::memory_order_relaxed);
     if (_jobs == 1 || count == 1) {
         for (std::size_t i = 0; i < count; ++i)
             body(i);

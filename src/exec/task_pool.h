@@ -87,6 +87,15 @@ class TaskPool
     /** @return @p requested if positive, else defaultJobs(). */
     static std::size_t resolveJobs(std::size_t requested);
 
+    /**
+     * @return tasks executed by every pool in this process so far
+     * (metrics; monotonic, includes failed tasks).
+     */
+    static std::uint64_t totalTasksRun();
+
+    /** @return batches (parallelFor calls) executed process-wide. */
+    static std::uint64_t totalBatchesRun();
+
   private:
     void workerLoop();
     /** Claim and run batch indices until none are left. */

@@ -84,6 +84,13 @@ Cache::access(Asid asid, Addr addr, ContextId ctx)
         }
     }
     ++_misses;
+    if (victim->valid) {
+        ++_evictions;
+        if (victim->asid != asid)
+            ++_crossAsidEvictions;
+    } else {
+        ++_validLines;
+    }
     victim->valid = true;
     victim->asid = asid;
     victim->tag = tag;
@@ -111,14 +118,17 @@ Cache::flush()
 {
     for (Line& line : _lines)
         line = Line{};
+    _validLines = 0;
 }
 
 void
 Cache::flushAsid(Asid asid)
 {
     for (Line& line : _lines) {
-        if (line.valid && line.asid == asid)
+        if (line.valid && line.asid == asid) {
             line = Line{};
+            --_validLines;
+        }
     }
 }
 
@@ -138,6 +148,8 @@ Cache::clearStats()
 {
     _accesses = 0;
     _misses = 0;
+    _evictions = 0;
+    _crossAsidEvictions = 0;
 }
 
 } // namespace jsmt

@@ -91,6 +91,24 @@ class Cache
     /** @return total misses since construction/flush-stats. */
     std::uint64_t misses() const { return _misses; }
 
+    /** @return fills that replaced a valid line. */
+    std::uint64_t evictions() const { return _evictions; }
+
+    /**
+     * @return evictions whose victim belonged to a different ASID
+     * than the filling access. Structures that fold the hardware
+     * context into the tag ASID (trace cache, BTB in HT mode) read
+     * this as cross-thread destructive interference.
+     */
+    std::uint64_t
+    crossAsidEvictions() const
+    {
+        return _crossAsidEvictions;
+    }
+
+    /** @return number of currently valid lines. */
+    std::uint64_t validLines() const { return _validLines; }
+
     /** Zero the local statistics. */
     void clearStats();
 
@@ -118,6 +136,9 @@ class Cache
     std::uint64_t _useClock = 0;  ///< LRU timestamp source.
     std::uint64_t _accesses = 0;
     std::uint64_t _misses = 0;
+    std::uint64_t _evictions = 0;
+    std::uint64_t _crossAsidEvictions = 0;
+    std::uint64_t _validLines = 0;
 };
 
 } // namespace jsmt

@@ -171,6 +171,10 @@ MemorySystem::accessL2Line(Asid asid, Addr paddr, ContextId ctx,
         return _config.l2HitCycles + port_wait;
     _pmu.record(EventId::kL2Miss, ctx);
     _pmu.record(EventId::kDramAccess, ctx);
+    if (_trace != nullptr && _trace->enabled()) {
+        _trace->instantArg(trace::Track::kMemory, "l2_miss", now,
+                           "lcpu", ctx);
+    }
     const std::uint32_t fsb_wait = fsbOccupy(now + port_wait);
     if (fsb_wait > 0)
         _pmu.record(EventId::kFsbBusyCycles, ctx, fsb_wait);
@@ -199,6 +203,10 @@ MemorySystem::fetchLine(Asid asid, Addr vaddr, Addr trace_addr,
     }
     result.traceCacheHit = false;
     _pmu.record(EventId::kTraceCacheMiss, ctx);
+    if (_trace != nullptr && _trace->enabled()) {
+        _trace->instantArg(trace::Track::kMemory, "tc_miss", now,
+                           "lcpu", ctx);
+    }
 
     // Miss path: translate through the ITLB, then build the trace
     // from the L2 image of the code.

@@ -19,6 +19,7 @@
 #include "mem/cache.h"
 #include "mem/tlb.h"
 #include "pmu/pmu.h"
+#include "trace/trace_sink.h"
 
 namespace jsmt {
 
@@ -144,6 +145,13 @@ class MemorySystem
     /** @return configuration. */
     const MemConfig& config() const { return _config; }
 
+    /** Attach (or detach, with nullptr) an event tracer. */
+    void
+    setTraceSink(trace::TraceSink* sink)
+    {
+        _trace = sink;
+    }
+
   private:
     /** Charge one line transfer on the FSB; @return queueing delay. */
     std::uint32_t fsbOccupy(Cycle now);
@@ -164,6 +172,7 @@ class MemorySystem
 
     MemConfig _config;
     Pmu& _pmu;
+    trace::TraceSink* _trace = nullptr;
     bool _hyperThreading = false;
     Cache _traceCache;
     Cache _l1d;

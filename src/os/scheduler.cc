@@ -52,6 +52,18 @@ Scheduler::dispatch(ContextId ctx, Cycle now)
     _quantumEnd[ctx] = now + _config.quantumCycles;
     _pmu.record(EventId::kContextSwitches, ctx);
     next->addKernelWork(_config.contextSwitchUops);
+
+    const auto last = _lastContext.find(next);
+    const bool migrated =
+        last != _lastContext.end() && last->second != ctx;
+    if (migrated)
+        ++_migrations;
+    _lastContext[next] = ctx;
+    if (_trace != nullptr && _trace->enabled()) {
+        _trace->instantArg(trace::Track::kOs,
+                           migrated ? "migrate" : "dispatch", now,
+                           "tid", next->id());
+    }
 }
 
 void
@@ -113,6 +125,7 @@ Scheduler::reset()
     _runQueue.clear();
     _current.fill(nullptr);
     _quantumEnd.fill(0);
+    _lastContext.clear();
 }
 
 } // namespace jsmt

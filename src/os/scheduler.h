@@ -17,10 +17,12 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <map>
 
 #include "common/types.h"
 #include "os/software_thread.h"
 #include "pmu/pmu.h"
+#include "trace/trace_sink.h"
 
 namespace jsmt {
 
@@ -88,15 +90,32 @@ class Scheduler
     /** @return OS configuration. */
     const OsConfig& config() const { return _config; }
 
+    /**
+     * @return dispatches that moved a thread to a different logical
+     * CPU than it last ran on (cache/TLB affinity loss).
+     */
+    std::uint64_t migrations() const { return _migrations; }
+
+    /** Attach (or detach, with nullptr) an event tracer. */
+    void
+    setTraceSink(trace::TraceSink* sink)
+    {
+        _trace = sink;
+    }
+
   private:
     void dispatch(ContextId ctx, Cycle now);
 
     OsConfig _config;
     Pmu& _pmu;
+    trace::TraceSink* _trace = nullptr;
     std::uint32_t _numContexts = kNumContexts;
     std::deque<SoftwareThread*> _runQueue;
     std::array<SoftwareThread*, kNumContexts> _current{};
     std::array<Cycle, kNumContexts> _quantumEnd{};
+    std::uint64_t _migrations = 0;
+    /** Logical CPU each thread last ran on (migration detection). */
+    std::map<const SoftwareThread*, ContextId> _lastContext;
 };
 
 } // namespace jsmt

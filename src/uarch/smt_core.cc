@@ -6,6 +6,26 @@
 
 namespace jsmt {
 
+namespace {
+
+/** Static trace-event name for a per-context stall event. */
+const char*
+stallName(EventId event)
+{
+    switch (event) {
+      case EventId::kRobFullStall:
+        return "rob_full";
+      case EventId::kLdqFullStall:
+        return "ldq_full";
+      case EventId::kStqFullStall:
+        return "stq_full";
+      default:
+        return "fetch_stall";
+    }
+}
+
+} // namespace
+
 SmtCore::SmtCore(const CoreConfig& config, MemorySystem& mem,
                  BranchUnit& branch, Scheduler& scheduler, Pmu& pmu,
                  std::uint64_t seed)
@@ -206,10 +226,19 @@ SmtCore::allocFromContext(ContextId ctx, Cycle now,
         cs.resumeAt = std::max<Cycle>(
             cs.resumeAt, now + _config.contextSwitchFlushCycles);
         _pmu.record(EventId::kPipelineFlush, ctx);
+        if (_trace != nullptr && _trace->enabled()) {
+            _trace->instantArg(trace::contextTrack(ctx),
+                               "ctx_switch_flush", now, "tid",
+                               thread->id());
+        }
     }
 
     if (now < cs.resumeAt) {
         _pmu.record(EventId::kFetchStallCycles, ctx);
+        if (_trace != nullptr && _trace->enabled()) {
+            _trace->span(trace::contextTrack(ctx), "fetch_stall",
+                         now, now + 1);
+        }
         return 0;
     }
 
@@ -220,8 +249,13 @@ SmtCore::allocFromContext(ContextId ctx, Cycle now,
             if (now < fe.nextFetchAt) {
                 // Redirect/bubble: the next line is not fetchable
                 // yet.
-                if (used == 0)
+                if (used == 0) {
                     _pmu.record(EventId::kFetchStallCycles, ctx);
+                    if (_trace != nullptr && _trace->enabled()) {
+                        _trace->span(trace::contextTrack(ctx),
+                                     "fetch_stall", now, now + 1);
+                    }
+                }
                 return used;
             }
             if (!thread->nextBundle(now, fe.bundle)) {
@@ -247,8 +281,13 @@ SmtCore::allocFromContext(ContextId ctx, Cycle now,
         }
 
         if (now < fe.bundleReadyAt) {
-            if (used == 0)
+            if (used == 0) {
                 _pmu.record(EventId::kFetchStallCycles, ctx);
+                if (_trace != nullptr && _trace->enabled()) {
+                    _trace->span(trace::contextTrack(ctx),
+                                 "fetch_stall", now, now + 1);
+                }
+            }
             return used;
         }
         cs.kernelMode = fe.bundle.kernelMode;
@@ -520,10 +559,18 @@ SmtCore::fastForwardAccount(Cycle from, Cycle to)
         }
     }
     for (ContextId ctx = 0; ctx < contexts; ++ctx) {
-        if (chosen[ctx] > 0)
-            _pmu.recordBulk(stallEventFor(ctx, from), ctx,
-                            chosen[ctx]);
+        if (chosen[ctx] == 0)
+            continue;
+        const EventId stall = stallEventFor(ctx, from);
+        _pmu.recordBulk(stall, ctx, chosen[ctx]);
+        if (_trace != nullptr && _trace->enabled()) {
+            _trace->span(trace::contextTrack(ctx), stallName(stall),
+                         from, to);
+        }
     }
+    if (_trace != nullptr && _trace->enabled())
+        _trace->complete(trace::Track::kMachine, "fast_forward",
+                         from, to);
 }
 
 } // namespace jsmt

@@ -39,6 +39,7 @@
 #include "mem/memory_system.h"
 #include "os/scheduler.h"
 #include "pmu/pmu.h"
+#include "trace/trace_sink.h"
 #include "uarch/core_config.h"
 
 namespace jsmt {
@@ -117,8 +118,29 @@ class SmtCore
     /** @return whether @p ctx may not allocate another store. */
     bool stqFull(ContextId ctx) const;
 
-    /** @return current ROB occupancy of @p ctx (tests). */
+    /** @return current ROB occupancy of @p ctx (tests/metrics). */
     std::uint32_t robOccupancy(ContextId ctx) const;
+
+    /** @return current load-buffer occupancy of @p ctx. */
+    std::uint32_t
+    ldqOccupancy(ContextId ctx) const
+    {
+        return _ctx[ctx].ldqOcc;
+    }
+
+    /** @return current store-buffer occupancy of @p ctx. */
+    std::uint32_t
+    stqOccupancy(ContextId ctx) const
+    {
+        return _ctx[ctx].stqOcc;
+    }
+
+    /** Attach (or detach, with nullptr) an event tracer. */
+    void
+    setTraceSink(trace::TraceSink* sink)
+    {
+        _trace = sink;
+    }
 
   private:
     /** Retired-entry bookkeeping for one in-flight µop. */
@@ -167,6 +189,7 @@ class SmtCore
     BranchUnit& _branch;
     Scheduler& _scheduler;
     Pmu& _pmu;
+    trace::TraceSink* _trace = nullptr;
     Rng _rng;
     bool _hyperThreading = true;
 

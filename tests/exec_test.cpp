@@ -11,6 +11,7 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -191,6 +192,119 @@ TEST(RunCache, MalformedSpillIsIgnored)
     RunCache cache;
     EXPECT_FALSE(cache.load(path));
     EXPECT_EQ(cache.size(), 0u);
+    std::remove(path.c_str());
+}
+
+// A spill truncated mid-write (crash, full disk) must be rejected
+// as a whole: no exception, no partial entries.
+TEST(RunCache, TruncatedSpillIsRejectedAtomically)
+{
+    RunResult result;
+    result.cycles = 77;
+    result.allComplete = true;
+    const std::string path =
+        testing::TempDir() + "jsmt_exec_test_truncated.json";
+    {
+        RunCache cache;
+        cache.insert("a", result);
+        cache.insert("b", result);
+        ASSERT_TRUE(cache.save(path));
+    }
+    std::string text;
+    {
+        std::ifstream in(path);
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        text = buffer.str();
+    }
+    // Cut the document mid-structure (inside the closing brackets,
+    // inside the second entry, and halfway through the file); none
+    // of the prefixes may load anything.
+    for (const std::size_t cut :
+         {text.size() - 3, text.size() - 10, text.size() / 2}) {
+        std::ofstream(path, std::ios::trunc)
+            << text.substr(0, cut);
+        RunCache cache;
+        EXPECT_FALSE(cache.load(path)) << "cut at " << cut;
+        EXPECT_EQ(cache.size(), 0u) << "cut at " << cut;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(RunCache, GarbageSpillDegradesToEmptyCache)
+{
+    const std::string path =
+        testing::TempDir() + "jsmt_exec_test_noise.json";
+    const std::vector<std::string> payloads = {
+        "",
+        "\0\0\0\0",
+        "[1,2,3]",
+        "{\"entries\":{}}",
+        "{\"entries\":[{\"key\":\"k\"}]} trailing",
+        "{\"version\":1}",
+    };
+    for (const std::string& payload : payloads) {
+        std::ofstream(path, std::ios::trunc) << payload;
+        RunCache cache;
+        EXPECT_FALSE(cache.load(path));
+        EXPECT_EQ(cache.size(), 0u);
+        // The cache keeps working normally afterwards.
+        RunResult result;
+        result.cycles = 9;
+        cache.insert("k", result);
+        EXPECT_EQ(cache.size(), 1u);
+    }
+    std::remove(path.c_str());
+}
+
+// One malformed entry poisons the whole file — a valid sibling
+// entry must NOT be half-loaded alongside it.
+TEST(RunCache, PartiallyValidSpillIsNotHalfLoaded)
+{
+    RunResult result;
+    result.cycles = 55;
+    const std::string path =
+        testing::TempDir() + "jsmt_exec_test_partial.json";
+    std::string good;
+    {
+        RunCache cache;
+        cache.insert("good", result);
+        ASSERT_TRUE(cache.save(path));
+        std::ifstream in(path);
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        good = buffer.str();
+    }
+    // Splice a syntactically-valid but structurally-broken entry
+    // (events matrix missing) into the entries array.
+    const std::string marker = "\"entries\":[\n";
+    const std::size_t pos = good.find(marker);
+    ASSERT_NE(pos, std::string::npos);
+    std::string bad = good;
+    bad.insert(pos + marker.size(),
+               "{\"key\":\"bad\",\"result\":{\"cycles\":1}},\n");
+    std::ofstream(path, std::ios::trunc) << bad;
+
+    RunCache cache;
+    EXPECT_FALSE(cache.load(path));
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_FALSE(cache.lookup("good", nullptr));
+    std::remove(path.c_str());
+}
+
+// setSpillPath on a corrupt file must not crash and must leave the
+// cache usable (cold).
+TEST(RunCache, SpillPathOnCorruptFileStartsCold)
+{
+    const std::string path =
+        testing::TempDir() + "jsmt_exec_test_coldstart.json";
+    std::ofstream(path, std::ios::trunc) << "{\"entries\":[{]}";
+    RunCache cache(path);
+    EXPECT_EQ(cache.size(), 0u);
+    RunResult result;
+    result.cycles = 3;
+    cache.insert("k", result);
+    EXPECT_EQ(cache.size(), 1u);
     std::remove(path.c_str());
 }
 

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Golden-run regression suite.
+ *
+ * Every registered benchmark is simulated solo at a small scale in
+ * both machine modes (HT off / HT on) and its key RunResult event
+ * totals are diffed EXACTLY against committed baselines in
+ * tests/golden/<benchmark>.json. The simulator is deterministic, so
+ * any drift — a single event count changing on a single benchmark —
+ * fails the suite and must be either fixed or explicitly accepted by
+ * regenerating the baselines.
+ *
+ * Regeneration (after an intentional model change):
+ *
+ *     cmake --build build --target update-golden
+ *
+ * (equivalently: JSMT_UPDATE_GOLDEN=1 ./build/tests/golden_test)
+ * then commit the changed files under tests/golden/.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "core/simulation.h"
+#include "jvm/benchmarks.h"
+
+namespace jsmt {
+namespace {
+
+/** Scale/seed of the golden runs: small but non-trivial. */
+constexpr double kGoldenScale = 0.02;
+constexpr std::uint64_t kGoldenSeed = 42;
+
+/** Event totals pinned by the baselines (summed over contexts). */
+const std::vector<const char*>&
+goldenEvents()
+{
+    static const std::vector<const char*> kNames = {
+        "cycles",          "instr_retired",
+        "uops_retired",    "trace_cache_miss",
+        "l1d_miss",        "l2_miss",
+        "itlb_miss",       "dtlb_miss",
+        "btb_access",      "btb_miss",
+        "branch_mispredict", "context_switches",
+    };
+    return kNames;
+}
+
+/** Directory holding the committed baselines. */
+std::string
+goldenDir()
+{
+    if (const char* env = std::getenv("JSMT_GOLDEN_DIR"))
+        return env;
+    return JSMT_GOLDEN_DIR;
+}
+
+/** One golden run: fresh machine, solo benchmark, default threads. */
+RunResult
+goldenRun(const std::string& benchmark, bool hyper_threading)
+{
+    SystemConfig config;
+    config.hyperThreading = hyper_threading;
+    config.seed = kGoldenSeed;
+    Machine machine(config);
+    Simulation sim(machine);
+    WorkloadSpec spec;
+    spec.benchmark = benchmark;
+    spec.lengthScale = kGoldenScale;
+    sim.addProcess(spec);
+    const RunResult result = sim.run();
+    EXPECT_TRUE(result.allComplete) << benchmark;
+    return result;
+}
+
+using EventTotals = std::vector<std::pair<std::string,
+                                          std::uint64_t>>;
+
+EventTotals
+totalsOf(const RunResult& result)
+{
+    EventTotals totals;
+    for (const char* name : goldenEvents()) {
+        const auto id = eventByName(name);
+        EXPECT_TRUE(id.has_value()) << name;
+        totals.emplace_back(name, result.total(*id));
+    }
+    return totals;
+}
+
+void
+appendMode(std::string& out, const char* mode,
+           const EventTotals& totals)
+{
+    out += "  \"";
+    out += mode;
+    out += "\": {\n";
+    for (std::size_t i = 0; i < totals.size(); ++i) {
+        out += "    \"" + totals[i].first +
+               "\": " + std::to_string(totals[i].second);
+        out += i + 1 < totals.size() ? ",\n" : "\n";
+    }
+    out += "  }";
+}
+
+std::string
+goldenDocument(const std::string& benchmark,
+               const EventTotals& ht_off, const EventTotals& ht_on)
+{
+    std::string out = "{\n";
+    out += "  \"version\": 1,\n";
+    out += "  \"benchmark\": \"" + benchmark + "\",\n";
+    out += "  \"scale\": 0.02,\n";
+    out += "  \"seed\": " + std::to_string(kGoldenSeed) + ",\n";
+    appendMode(out, "ht_off", ht_off);
+    out += ",\n";
+    appendMode(out, "ht_on", ht_on);
+    out += "\n}\n";
+    return out;
+}
+
+void
+expectModeMatches(const json::Value& root, const char* mode,
+                  const EventTotals& actual)
+{
+    const json::Value* node = root.field(mode);
+    ASSERT_NE(node, nullptr) << "baseline missing mode " << mode;
+    ASSERT_TRUE(node->isObject());
+    // Every pinned event must be present and exactly equal; a
+    // baseline carrying unknown events is stale.
+    EXPECT_EQ(node->fields.size(), actual.size())
+        << "baseline event set drifted in mode " << mode;
+    for (const auto& [name, value] : actual) {
+        const json::Value* entry = node->field(name);
+        ASSERT_NE(entry, nullptr)
+            << "baseline missing event " << name << " in " << mode;
+        EXPECT_EQ(json::asNumber(entry), value)
+            << "event " << name << " drifted in mode " << mode;
+    }
+}
+
+class GoldenTest : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(GoldenTest, EventTotalsMatchBaseline)
+{
+    const std::string benchmark = GetParam();
+    const std::string path = goldenDir() + "/" + benchmark + ".json";
+
+    const EventTotals ht_off = totalsOf(goldenRun(benchmark, false));
+    const EventTotals ht_on = totalsOf(goldenRun(benchmark, true));
+
+    if (std::getenv("JSMT_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream out(path, std::ios::trunc);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << goldenDocument(benchmark, ht_off, ht_on);
+        ASSERT_TRUE(out.good());
+        GTEST_SKIP() << "regenerated " << path;
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << "missing baseline " << path
+                    << " (regenerate with the update-golden "
+                       "target)";
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    json::Value root;
+    ASSERT_TRUE(json::parse(buffer.str(), &root))
+        << "baseline is not valid JSON: " << path;
+    ASSERT_TRUE(root.isObject());
+    EXPECT_EQ(json::asNumber(root.field("version")), 1u);
+    EXPECT_EQ(json::asString(root.field("benchmark")), benchmark);
+    EXPECT_EQ(json::asNumber(root.field("seed")), kGoldenSeed);
+
+    expectModeMatches(root, "ht_off", ht_off);
+    expectModeMatches(root, "ht_on", ht_on);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, GoldenTest,
+    testing::ValuesIn(benchmarkNames()),
+    [](const testing::TestParamInfo<std::string>& param) {
+        return param.param;
+    });
+
+// The baselines directory must cover exactly the registry: a
+// benchmark added without a baseline (or a baseline for a removed
+// benchmark) is caught here rather than silently skipped.
+TEST(GoldenSuite, EveryBenchmarkHasABaseline)
+{
+    if (std::getenv("JSMT_UPDATE_GOLDEN") != nullptr)
+        GTEST_SKIP() << "regenerating";
+    for (const std::string& name : benchmarkNames()) {
+        const std::string path =
+            goldenDir() + "/" + name + ".json";
+        std::ifstream in(path);
+        EXPECT_TRUE(in.good()) << "missing baseline " << path;
+    }
+}
+
+} // namespace
+} // namespace jsmt

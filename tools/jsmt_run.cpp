@@ -24,12 +24,21 @@
  *                                  (cross-check for the fast-forward
  *                                  optimisation; results must be
  *                                  identical)
+ *     --trace FILE                 capture a Chrome trace_event JSON
+ *                                  timeline of the run (open in
+ *                                  Perfetto / chrome://tracing); the
+ *                                  JSMT_TRACE environment variable
+ *                                  sets the same output path
+ *     --metrics FILE               export the metrics registry
+ *                                  (counters, gauges, histograms and
+ *                                  interval snapshots) as JSON
  *     --list-benchmarks            print the registry and exit
  *     --list-events                print the event catalogue, exit
  *
  * When JSMT_RUN_CACHE names a file, non-sampled runs are memoized
  * there: repeating an invocation replays the cached RunResult
- * instead of re-simulating.
+ * instead of re-simulating. Traced runs bypass the memo — a cached
+ * replay skips the simulation, so it cannot produce a timeline.
  *
  * Examples:
  *   jsmt_run --benchmark PseudoJBB:4
@@ -39,7 +48,9 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -51,6 +62,8 @@
 #include "jvm/benchmarks.h"
 #include "pmu/abyss.h"
 #include "pmu/sampler.h"
+#include "trace/metrics.h"
+#include "trace/trace_sink.h"
 
 namespace {
 
@@ -69,6 +82,8 @@ struct Options
         "btb_miss",   "branch_mispredict", "os_cycles"};
     Cycle sampleInterval = 0;
     bool fastForward = true;
+    std::string traceFile;
+    std::string metricsFile;
 };
 
 [[noreturn]] void
@@ -81,6 +96,7 @@ usage(int code)
                  "                [--events a,b,c] "
                  "[--sample-interval N]\n"
                  "                [--no-fast-forward]\n"
+                 "                [--trace FILE] [--metrics FILE]\n"
                  "                [--list-benchmarks] "
                  "[--list-events]\n";
     std::exit(code);
@@ -138,6 +154,10 @@ parseArgs(int argc, char** argv)
                 std::atoll(next().c_str()));
         } else if (arg == "--no-fast-forward") {
             options.fastForward = false;
+        } else if (arg == "--trace") {
+            options.traceFile = next();
+        } else if (arg == "--metrics") {
+            options.metricsFile = next();
         } else if (arg == "--list-benchmarks") {
             for (const auto& name : benchmarkNames()) {
                 const WorkloadProfile& profile =
@@ -161,6 +181,10 @@ parseArgs(int argc, char** argv)
             std::cerr << "unknown option " << arg << '\n';
             usage(1);
         }
+    }
+    if (options.traceFile.empty()) {
+        if (const char* env = std::getenv("JSMT_TRACE"))
+            options.traceFile = env;
     }
     if (options.workloads.empty()) {
         WorkloadSpec spec;
@@ -213,25 +237,51 @@ main(int argc, char** argv)
         events.push_back(*id);
     }
 
+    const bool tracing = !options.traceFile.empty();
+    const bool metrics = !options.metricsFile.empty();
+
+    // The tracer must be attached before addProcess so the launch
+    // instants land in the timeline.
+    trace::TraceSink sink;
+    if (tracing) {
+        sink.setEnabled(true);
+        machine.setTraceSink(&sink);
+    }
+
     Simulation sim(machine);
     for (const auto& spec : options.workloads)
         sim.addProcess(spec);
 
+    std::unique_ptr<trace::MetricsCollector> collector;
+    if (metrics)
+        collector = std::make_unique<trace::MetricsCollector>(
+            machine);
+
     AbyssSampler sampler(machine.pmu(), events);
     Simulation::RunOptions run_options;
     run_options.fastForward = options.fastForward;
-    if (options.sampleInterval > 0) {
-        run_options.sampleIntervalCycles = options.sampleInterval;
+    // Metrics snapshots ride the same sample edge as the counter
+    // time series; without an explicit interval a metrics run still
+    // gets a coarse series.
+    Cycle interval = options.sampleInterval;
+    if (metrics && interval == 0)
+        interval = 1'000'000;
+    if (interval > 0) {
+        run_options.sampleIntervalCycles = interval;
         run_options.onSample = [&](Simulation&, Cycle now) {
-            sampler.sample(now);
+            if (options.sampleInterval > 0)
+                sampler.sample(now);
+            if (collector)
+                collector->collect(now);
         };
     }
 
     RunResult result;
-    if (options.sampleInterval == 0) {
+    if (options.sampleInterval == 0 && !tracing && !metrics) {
         // Non-sampled runs are fully described by their RunResult,
         // so they can replay from the memo (spilled to
-        // $JSMT_RUN_CACHE across invocations).
+        // $JSMT_RUN_CACHE across invocations). Traced and metered
+        // runs must actually simulate.
         std::string key =
             "runcli|" + exec::describeSystemConfig(config);
         for (const auto& spec : options.workloads) {
@@ -250,12 +300,44 @@ main(int argc, char** argv)
         result = sim.run(run_options);
     }
 
+    if (tracing) {
+        std::ofstream out(options.traceFile, std::ios::trunc);
+        if (!out) {
+            std::cerr << "cannot write trace file '"
+                      << options.traceFile << "'\n";
+            return 1;
+        }
+        sink.writeChromeTrace(out);
+    }
+    if (collector) {
+        collector->collect(sim.now());
+        std::ofstream out(options.metricsFile, std::ios::trunc);
+        if (!out) {
+            std::cerr << "cannot write metrics file '"
+                      << options.metricsFile << "'\n";
+            return 1;
+        }
+        collector->writeJson(out);
+    }
+
     std::cout << "machine: HT "
               << (options.hyperThreading ? "on" : "off")
               << (options.dynamicPartition
                       ? ", dynamic partitioning"
                       : ", static partitioning (P4)")
-              << ", seed " << options.seed << "\n"
+              << ", seed " << options.seed;
+    if (tracing) {
+        std::cout << ", tracing on -> " << options.traceFile << " ("
+                  << sink.size() << " events";
+        if (sink.dropped() > 0)
+            std::cout << ", " << sink.dropped() << " dropped";
+        std::cout << ')';
+    } else {
+        std::cout << ", tracing off";
+    }
+    if (metrics)
+        std::cout << ", metrics -> " << options.metricsFile;
+    std::cout << "\n"
               << "run: " << result.cycles << " cycles, "
               << result.total(EventId::kUopsRetired)
               << " uops retired, IPC "
