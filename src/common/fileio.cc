@@ -1,0 +1,50 @@
+#include "common/fileio.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace jsmt {
+
+std::string
+atomicTempPath(const std::string& path)
+{
+    return path + ".tmp";
+}
+
+bool
+atomicWriteFile(const std::string& path,
+                const std::string& contents)
+{
+    const std::string tmp = atomicTempPath(path);
+    {
+        std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+        if (!out)
+            return false;
+        out << contents;
+        out.flush();
+        if (!out) {
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+readFile(const std::string& path, std::string* out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    *out = buffer.str();
+    return true;
+}
+
+} // namespace jsmt

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Atomic whole-file writes.
+ *
+ * Consumers of the run-cache spill and the sweep checkpoint treat a
+ * file's presence as "this content is complete": they must never
+ * observe a half-written document. atomicWriteFile publishes content
+ * by writing a .tmp sibling and rename()-ing it into place — on
+ * POSIX the rename is atomic, so readers see either the old file or
+ * the new one, never a truncation.
+ */
+
+#ifndef JSMT_COMMON_FILEIO_H
+#define JSMT_COMMON_FILEIO_H
+
+#include <string>
+
+namespace jsmt {
+
+/** @return the .tmp sibling used to stage @p path. */
+std::string atomicTempPath(const std::string& path);
+
+/**
+ * Atomically replace @p path with @p contents.
+ * @return false on any I/O error (the original file, if one
+ * existed, is left untouched and the .tmp sibling is removed).
+ */
+bool atomicWriteFile(const std::string& path,
+                     const std::string& contents);
+
+/** Read all of @p path into @p out. @return false if unreadable. */
+bool readFile(const std::string& path, std::string* out);
+
+} // namespace jsmt
+
+#endif // JSMT_COMMON_FILEIO_H

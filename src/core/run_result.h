@@ -40,6 +40,13 @@ struct RunResult
     Cycle cycles = 0;
     /** Whether every process had completed when run() returned. */
     bool allComplete = false;
+    /**
+     * Whether the run was stopped by a cancellation token (deadline
+     * or external cancel). A cancelled result is partial and must
+     * not be cached — it is never serialized to the spill or
+     * checkpoint wire format.
+     */
+    bool cancelled = false;
     std::vector<ProcessResult> processes;
 
     /** Event deltas per logical CPU over the run. */

@@ -72,12 +72,30 @@ Simulation::run(const RunOptions& options)
 
     const Cycle start = _cycle;
     bool stop_requested = false;
+    bool cancelled = false;
     std::vector<JavaProcess*> just_completed;
 
     Cycle next_sample =
         options.sampleIntervalCycles > 0
             ? start + options.sampleIntervalCycles
             : ~Cycle{0};
+
+    // Cancellation is observed only on a fixed simulated-cycle
+    // lattice: cheap (one atomic load every interval) and the set of
+    // possible stopping points does not depend on host timing or on
+    // whether fast-forward is enabled.
+    const Cycle cancel_interval =
+        options.cancelCheckIntervalCycles > 0
+            ? options.cancelCheckIntervalCycles
+            : Cycle{65536};
+    Cycle next_cancel = options.cancellation != nullptr
+                            ? start + cancel_interval
+                            : ~Cycle{0};
+    if (options.cancellation != nullptr &&
+        options.cancellation->cancelled()) {
+        cancelled = true;
+        stop_requested = true;
+    }
 
     while (!stop_requested && !allProcessesComplete() &&
            _cycle - start < options.maxCycles) {
@@ -91,6 +109,14 @@ Simulation::run(const RunOptions& options)
             if (tracing)
                 sink->instant(trace::Track::kSim, "sample", _cycle);
             next_sample += options.sampleIntervalCycles;
+        }
+
+        if (_cycle >= next_cancel) {
+            if (options.cancellation->cancelled()) {
+                cancelled = true;
+                stop_requested = true;
+            }
+            next_cancel += cancel_interval;
         }
 
         // Detect completions among the (few) live processes.
@@ -128,9 +154,11 @@ Simulation::run(const RunOptions& options)
                 // Stop one cycle short of the next sample point so
                 // onSample fires on the exact same clock edge as the
                 // cycle-by-cycle path.
+                // Stop one cycle short of the next cancellation
+                // check for the same reason.
                 Cycle target = std::min(
                     {bound, start + options.maxCycles,
-                     next_sample - 1});
+                     next_sample - 1, next_cancel - 1});
                 if (target > _cycle) {
                     _machine.core().fastForwardAccount(_cycle,
                                                        target);
@@ -145,6 +173,7 @@ Simulation::run(const RunOptions& options)
 
     result.cycles = _cycle - start;
     result.allComplete = allProcessesComplete();
+    result.cancelled = cancelled;
     for (ContextId ctx = 0; ctx < kNumContexts; ++ctx) {
         for (std::size_t e = 0; e < kNumEventIds; ++e) {
             result.events[ctx][e] =

@@ -16,6 +16,7 @@
 #include "core/run_result.h"
 #include "jvm/benchmarks.h"
 #include "jvm/process.h"
+#include "resilience/cancellation.h"
 
 namespace jsmt {
 
@@ -83,6 +84,18 @@ class Simulation
          * bit-identical with and without a sink.
          */
         trace::TraceSink* trace = nullptr;
+        /**
+         * When non-null, polled every cancelCheckIntervalCycles
+         * simulated cycles (and once before the loop): if the token
+         * is cancelled the run stops at that check edge and the
+         * result comes back with cancelled = true. Checks happen on
+         * a fixed simulated-cycle lattice, so the set of possible
+         * stopping points is deterministic and fast-forward never
+         * skips one. Borrowed, not owned.
+         */
+        const resilience::CancellationToken* cancellation = nullptr;
+        /** Simulated-cycle spacing of cancellation checks. */
+        Cycle cancelCheckIntervalCycles = 65536;
     };
 
     explicit Simulation(Machine& machine);

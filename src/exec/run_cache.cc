@@ -1,11 +1,14 @@
 #include "exec/run_cache.h"
 
+#include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <utility>
 #include <vector>
 
+#include "common/fileio.h"
 #include "common/json.h"
 #include "common/log.h"
 
@@ -18,8 +21,15 @@ using json::asBool;
 using json::asNumber;
 using json::asString;
 
+/** Process-wide spill health (metrics export). */
+std::atomic<std::uint64_t> g_spillSaves{0};
+std::atomic<std::uint64_t> g_spillSaveFailures{0};
+std::atomic<std::uint64_t> g_spillLoadRejects{0};
+
+} // namespace
+
 void
-writeResult(std::string& out, const RunResult& result)
+writeRunResultJson(std::string& out, const RunResult& result)
 {
     out += "{\"cycles\":" + std::to_string(result.cycles);
     out += ",\"allComplete\":";
@@ -60,7 +70,7 @@ writeResult(std::string& out, const RunResult& result)
 }
 
 bool
-readResult(const json::Value& value, RunResult* out)
+readRunResultJson(const json::Value& value, RunResult* out)
 {
     if (!value.isObject())
         return false;
@@ -104,8 +114,6 @@ readResult(const json::Value& value, RunResult* out)
     }
     return true;
 }
-
-} // namespace
 
 RunCache::RunCache(const std::string& spill_path)
 {
@@ -167,41 +175,39 @@ RunCache::setSpillPath(const std::string& path)
 bool
 RunCache::load(const std::string& path)
 {
-    std::ifstream in(path);
-    if (!in)
+    std::string text;
+    if (!readFile(path, &text)) {
+        g_spillLoadRejects.fetch_add(1, std::memory_order_relaxed);
         return false;
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    const std::string text = buffer.str();
+    }
 
     // All-or-nothing: decode the whole document before touching the
     // cache, and reject the file outright when any entry is
     // malformed. A spill truncated mid-write (crash, full disk) must
     // never half-load — a cache silently missing entries would be
     // indistinguishable from one holding stale ones.
+    const auto reject = [&] {
+        warn("run-cache: ignoring malformed spill file " + path);
+        g_spillLoadRejects.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    };
     json::Value root;
-    if (!json::parse(text, &root) || !root.isObject()) {
-        warn("run-cache: ignoring malformed spill file " + path);
-        return false;
-    }
+    if (!json::parse(text, &root) || !root.isObject())
+        return reject();
     const json::Value* entries = root.field("entries");
-    if (!entries || !entries->isArray()) {
-        warn("run-cache: ignoring malformed spill file " + path);
-        return false;
-    }
+    if (!entries || !entries->isArray())
+        return reject();
     std::vector<std::pair<std::string, RunResult>> decoded;
     decoded.reserve(entries->items.size());
     for (const json::Value& entry : entries->items) {
-        if (!entry.isObject()) {
-            warn("run-cache: ignoring malformed spill file " + path);
-            return false;
-        }
+        if (!entry.isObject())
+            return reject();
         const std::string key = asString(entry.field("key"));
         const json::Value* result = entry.field("result");
         RunResult value;
-        if (key.empty() || !result || !readResult(*result, &value)) {
-            warn("run-cache: ignoring malformed spill file " + path);
-            return false;
+        if (key.empty() || !result ||
+            !readRunResultJson(*result, &value)) {
+            return reject();
         }
         decoded.emplace_back(key, std::move(value));
     }
@@ -226,17 +232,75 @@ RunCache::save(const std::string& path) const
             appendEscaped(out, key);
             out += ",\"hash\":" + std::to_string(hashKey(key));
             out += ",\"result\":";
-            writeResult(out, result);
+            writeRunResultJson(out, result);
             out += '}';
         }
     }
     out += "\n]}\n";
 
-    std::ofstream file(path, std::ios::trunc);
-    if (!file)
+    const resilience::FaultPlan& plan = faultPlan();
+    const resilience::FaultPlan::SpillFault fault =
+        plan.spillFault(plan.nextSpillOrdinal());
+    if (fault == resilience::FaultPlan::SpillFault::kTruncate) {
+        // Injected crash mid-write: the staged .tmp stops halfway
+        // and the rename never happens — exactly what a power cut
+        // between write() and rename() leaves behind. The live
+        // spill (if any) must survive untouched.
+        std::ofstream tmp(atomicTempPath(path), std::ios::trunc);
+        tmp << out.substr(0, out.size() / 2);
+        warn("run-cache: injected crash mid-save of " + path);
+        g_spillSaveFailures.fetch_add(1,
+                                      std::memory_order_relaxed);
         return false;
-    file << out;
-    return static_cast<bool>(file);
+    }
+    if (!atomicWriteFile(path, out)) {
+        g_spillSaveFailures.fetch_add(1,
+                                      std::memory_order_relaxed);
+        return false;
+    }
+    if (fault == resilience::FaultPlan::SpillFault::kCorrupt) {
+        // Injected bitrot: clobber bytes in the middle of the
+        // now-published document. The next load must reject the
+        // file wholesale and degrade to a cold cache.
+        std::ofstream file(path, std::ios::in | std::ios::out);
+        file.seekp(static_cast<std::streamoff>(out.size() / 2));
+        file << "\x01garbage\x02";
+        warn("run-cache: injected corruption into " + path);
+    }
+    g_spillSaves.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+RunCache::setFaultPlan(const resilience::FaultPlan* plan)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _faultPlan = plan;
+}
+
+const resilience::FaultPlan&
+RunCache::faultPlan() const
+{
+    return _faultPlan != nullptr ? *_faultPlan
+                                 : resilience::FaultPlan::global();
+}
+
+std::uint64_t
+RunCache::totalSpillSaves()
+{
+    return g_spillSaves.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+RunCache::totalSpillSaveFailures()
+{
+    return g_spillSaveFailures.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+RunCache::totalSpillLoadRejects()
+{
+    return g_spillLoadRejects.load(std::memory_order_relaxed);
 }
 
 void

@@ -26,6 +26,11 @@
 
 #include "core/run_result.h"
 #include "core/system_config.h"
+#include "resilience/fault_plan.h"
+
+namespace jsmt::json {
+struct Value;
+}
 
 namespace jsmt::exec {
 
@@ -66,8 +71,20 @@ class RunCache
     /** Merge entries from @p path; @return false if unreadable. */
     bool load(const std::string& path);
 
-    /** Write all entries to @p path; @return false on I/O error. */
+    /**
+     * Write all entries to @p path — atomically: the document is
+     * staged in a .tmp sibling and rename()d into place, so a crash
+     * mid-save can never leave @p path truncated.
+     * @return false on I/O error (including an injected
+     * crash-mid-write fault; the previous file survives intact).
+     */
     bool save(const std::string& path) const;
+
+    /**
+     * Fault-injection override for spill writes (tests). nullptr
+     * restores the process-wide resilience::FaultPlan::global().
+     */
+    void setFaultPlan(const resilience::FaultPlan* plan);
 
     /** Drop all entries (and statistics). */
     void clear();
@@ -79,6 +96,16 @@ class RunCache
     std::uint64_t misses() const;
     ///@}
 
+    /** @name Process-wide spill health counters (metrics export) */
+    ///@{
+    /** Successful spill saves by every cache in this process. */
+    static std::uint64_t totalSpillSaves();
+    /** Spill saves that failed (I/O error or injected crash). */
+    static std::uint64_t totalSpillSaveFailures();
+    /** Spill loads rejected wholesale (missing or malformed). */
+    static std::uint64_t totalSpillLoadRejects();
+    ///@}
+
     /**
      * Process-wide cache shared by the harness drivers and jsmt_run.
      * Spills to $JSMT_RUN_CACHE when that variable is set.
@@ -86,13 +113,28 @@ class RunCache
     static RunCache& global();
 
   private:
+    const resilience::FaultPlan& faultPlan() const;
+
     mutable std::mutex _mutex;
     std::map<std::string, RunResult> _entries;
     std::string _spillPath;
     bool _dirty = false;
     mutable std::uint64_t _hits = 0;
     mutable std::uint64_t _misses = 0;
+    const resilience::FaultPlan* _faultPlan = nullptr;
 };
+
+/**
+ * Append @p result to @p out as the canonical RunResult JSON object
+ * (the spill/checkpoint wire format).
+ */
+void writeRunResultJson(std::string& out, const RunResult& result);
+
+/**
+ * Decode a RunResult from its canonical JSON object.
+ * @return false when any field is missing or malformed.
+ */
+bool readRunResultJson(const json::Value& value, RunResult* out);
 
 /**
  * Canonical one-line description of every field of a SystemConfig —

@@ -1,7 +1,10 @@
 #include "exec/task_pool.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <string>
 
+#include "common/env.h"
 #include "common/log.h"
 
 namespace jsmt::exec {
@@ -29,12 +32,12 @@ TaskPool::totalBatchesRun()
 std::size_t
 TaskPool::defaultJobs()
 {
-    if (const char* env = std::getenv("JSMT_JOBS")) {
-        const long n = std::atol(env);
-        if (n > 0)
-            return static_cast<std::size_t>(n);
-        warn("JSMT_JOBS must be a positive integer; ignoring");
-    }
+    // envUint warns and falls through on a malformed or
+    // non-positive value, so a typo'd JSMT_JOBS can never silently
+    // serialize (or over-subscribe) a sweep.
+    const std::uint64_t n = envUint("JSMT_JOBS", 0, 1);
+    if (n > 0)
+        return static_cast<std::size_t>(n);
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? hw : 1;
 }
@@ -90,21 +93,48 @@ TaskPool::drainBatch()
             _nextIndex.fetch_add(1, std::memory_order_relaxed);
         if (index >= _count)
             return;
+        std::exception_ptr error;
         try {
             (*_body)(index);
         } catch (...) {
-            std::lock_guard<std::mutex> lock(_mutex);
-            if (!_firstError)
-                _firstError = std::current_exception();
+            error = std::current_exception();
         }
+        // Record the failure and the completion under one lock:
+        // _finished must reach _count (and the waiter must be
+        // woken) no matter what the task threw, or parallelFor's
+        // completion wait would deadlock on a throwing batch.
         bool last = false;
         {
             std::lock_guard<std::mutex> lock(_mutex);
+            if (error)
+                _errors.push_back({index, std::move(error)});
             last = ++_finished == _count;
         }
         if (last)
             _batchDone.notify_all();
     }
+}
+
+void
+TaskPool::throwBatchErrors(std::vector<TaskError>&& errors)
+{
+    if (errors.empty())
+        return;
+    std::sort(errors.begin(), errors.end(),
+              [](const TaskError& a, const TaskError& b) {
+                  return a.index < b.index;
+              });
+    std::string message =
+        std::to_string(errors.size()) + " task(s) failed; first at "
+        "index " + std::to_string(errors[0].index);
+    try {
+        std::rethrow_exception(errors[0].error);
+    } catch (const std::exception& e) {
+        message += std::string(": ") + e.what();
+    } catch (...) {
+        message += ": (non-standard exception)";
+    }
+    throw BatchError(std::move(message), std::move(errors));
 }
 
 void
@@ -116,8 +146,17 @@ TaskPool::parallelFor(std::size_t count,
     g_totalBatches.fetch_add(1, std::memory_order_relaxed);
     g_totalTasks.fetch_add(count, std::memory_order_relaxed);
     if (_jobs == 1 || count == 1) {
-        for (std::size_t i = 0; i < count; ++i)
-            body(i);
+        // Inline path: same all-tasks-run, all-errors-aggregated
+        // semantics as the threaded path.
+        std::vector<TaskError> errors;
+        for (std::size_t i = 0; i < count; ++i) {
+            try {
+                body(i);
+            } catch (...) {
+                errors.push_back({i, std::current_exception()});
+            }
+        }
+        throwBatchErrors(std::move(errors));
         return;
     }
 
@@ -129,23 +168,21 @@ TaskPool::parallelFor(std::size_t count,
         _count = count;
         _nextIndex.store(0, std::memory_order_relaxed);
         _finished = 0;
-        _firstError = nullptr;
+        _errors.clear();
         ++_generation;
     }
     _wake.notify_all();
 
     drainBatch();
 
-    std::exception_ptr error;
+    std::vector<TaskError> errors;
     {
         std::unique_lock<std::mutex> lock(_mutex);
         _batchDone.wait(lock, [&] { return _finished == _count; });
         _body = nullptr;
-        error = _firstError;
-        _firstError = nullptr;
+        errors.swap(_errors);
     }
-    if (error)
-        std::rethrow_exception(error);
+    throwBatchErrors(std::move(errors));
 }
 
 } // namespace jsmt::exec

@@ -25,10 +25,42 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 namespace jsmt::exec {
+
+/** One failed task of a batch. */
+struct TaskError
+{
+    /** Batch index the exception escaped from. */
+    std::size_t index = 0;
+    std::exception_ptr error;
+};
+
+/**
+ * Thrown by TaskPool::parallelFor when any task threw: carries
+ * every failure of the batch (ordered by task index), so a sweep
+ * can report all failed configurations instead of only the first.
+ * Derives from std::runtime_error with the first failure's message,
+ * so callers that only care about "the batch failed" keep working.
+ */
+class BatchError : public std::runtime_error
+{
+  public:
+    BatchError(std::string message, std::vector<TaskError> errors)
+        : std::runtime_error(std::move(message)),
+          _errors(std::move(errors))
+    {
+    }
+
+    /** @return every task failure, ordered by batch index. */
+    const std::vector<TaskError>& errors() const { return _errors; }
+
+  private:
+    std::vector<TaskError> _errors;
+};
 
 /**
  * A pool of worker threads executing indexed task batches.
@@ -59,8 +91,10 @@ class TaskPool
      * Run body(0) .. body(count-1) across the pool and wait for all
      * of them. Indices are claimed dynamically (cheap work
      * stealing), so long tasks do not serialize behind short ones.
-     * The first exception thrown by any task is rethrown here after
-     * the batch drains; remaining tasks still run.
+     * Exceptions thrown by tasks never wedge the batch: every task
+     * still runs, the completion wait still drains, and afterwards
+     * a single BatchError carrying *all* captured failures (by task
+     * index) is thrown here.
      */
     void parallelFor(std::size_t count,
                      const std::function<void(std::size_t)>& body);
@@ -100,6 +134,8 @@ class TaskPool
     void workerLoop();
     /** Claim and run batch indices until none are left. */
     void drainBatch();
+    /** Throw a BatchError for @p errors (no-op when empty). */
+    static void throwBatchErrors(std::vector<TaskError>&& errors);
 
     std::size_t _jobs;
     std::vector<std::thread> _workers;
@@ -115,7 +151,7 @@ class TaskPool
     std::size_t _count = 0;
     std::atomic<std::size_t> _nextIndex{0};
     std::size_t _finished = 0;
-    std::exception_ptr _firstError;
+    std::vector<TaskError> _errors;
 };
 
 } // namespace jsmt::exec

@@ -1,11 +1,14 @@
 #include "harness/experiments.h"
 
 #include <array>
+#include <memory>
+#include <utility>
 
 #include "common/log.h"
 #include "exec/task_pool.h"
 #include "harness/solo.h"
 #include "jvm/benchmarks.h"
+#include "resilience/checkpoint.h"
 
 namespace jsmt {
 
@@ -26,7 +29,8 @@ informFanOut(const char* what, std::size_t points, std::size_t jobs)
 
 std::vector<MtCounterRow>
 runMultithreadedSweep(const ExperimentConfig& config,
-                      const std::vector<std::uint32_t>& thread_counts)
+                      const std::vector<std::uint32_t>& thread_counts,
+                      resilience::BatchReport* report)
 {
     const std::vector<std::string> names = multiThreadedNames();
     std::vector<MtCounterRow> rows(names.size() *
@@ -39,20 +43,59 @@ runMultithreadedSweep(const ExperimentConfig& config,
         }
     }
 
-    exec::TaskPool pool(config.jobs);
-    informFanOut("sweep", rows.size() * 2, pool.jobs());
+    resilience::SupervisorOptions supervision = config.supervision;
+    if (supervision.jobs == 0)
+        supervision.jobs = config.jobs;
+    resilience::Supervisor supervisor(supervision);
+    std::unique_ptr<resilience::SweepCheckpoint> checkpoint;
+    if (!config.checkpointPath.empty()) {
+        checkpoint = std::make_unique<resilience::SweepCheckpoint>(
+            config.checkpointPath);
+        if (checkpoint->resumed() > 0 && verbose()) {
+            inform("sweep: resumed " +
+                   std::to_string(checkpoint->resumed()) +
+                   " completed measurement(s) from " +
+                   config.checkpointPath);
+        }
+    }
+    informFanOut("sweep", rows.size() * 2, supervisor.jobs());
+
     // Each row is two independent runs (HT off / HT on); fan them
     // out separately so they load-balance across workers.
-    pool.parallelFor(rows.size() * 2, [&](std::size_t k) {
-        MtCounterRow& row = rows[k / 2];
-        const bool ht = (k % 2) == 1;
-        SoloOptions options;
-        options.threads = row.threads;
-        options.lengthScale = config.lengthScale;
-        RunResult result = measureSoloCached(
-            config.system, row.benchmark, ht, options);
-        (ht ? row.htOn : row.htOff) = std::move(result);
-    });
+    const auto name_of = [&](std::size_t k) {
+        const MtCounterRow& row = rows[k / 2];
+        std::string name = row.benchmark;
+        name += "/t" + std::to_string(row.threads);
+        name += (k % 2) == 1 ? "/ht" : "/st";
+        return name;
+    };
+    resilience::BatchReport batch = supervisor.run(
+        rows.size() * 2, name_of,
+        [&](resilience::TaskContext& ctx) {
+            MtCounterRow& row = rows[ctx.index / 2];
+            const bool ht = (ctx.index % 2) == 1;
+            SoloOptions options;
+            options.threads = row.threads;
+            options.lengthScale = config.lengthScale;
+            const std::string key = soloRunKey(
+                config.system, row.benchmark, ht, options);
+            RunResult result;
+            if (checkpoint != nullptr &&
+                checkpoint->lookup(key, &result)) {
+                (ht ? row.htOn : row.htOff) = std::move(result);
+                return;
+            }
+            options.cancel = ctx.token;
+            result = measureSoloCached(config.system,
+                                       row.benchmark, ht, options);
+            if (checkpoint != nullptr)
+                checkpoint->record(key, result);
+            (ht ? row.htOn : row.htOff) = std::move(result);
+        });
+    if (report != nullptr)
+        *report = std::move(batch);
+    else if (!batch.ok())
+        fatal("sweep: " + batch.summary());
     return rows;
 }
 
@@ -87,7 +130,8 @@ runPairMatrix(const ExperimentConfig& config)
     PairMatrix matrix;
     matrix.names = singleThreadedNames();
     MultiprogramRunner runner(config.system, config.lengthScale,
-                              config.pairMinRuns, config.jobs);
+                              config.pairMinRuns, config.jobs,
+                              config.supervision);
     matrix.cells = runner.runCrossProduct(matrix.names);
     return matrix;
 }
@@ -134,7 +178,8 @@ runIdenticalPairs(const ExperimentConfig& config)
 {
     const std::vector<std::string> names = singleThreadedNames();
     MultiprogramRunner runner(config.system, config.lengthScale,
-                              config.pairMinRuns, config.jobs);
+                              config.pairMinRuns, config.jobs,
+                              config.supervision);
     std::vector<std::pair<std::string, std::string>> pairs;
     pairs.reserve(names.size());
     for (const std::string& name : names)

@@ -16,6 +16,7 @@
 #include "core/run_result.h"
 #include "core/system_config.h"
 #include "harness/multiprogram.h"
+#include "resilience/supervisor.h"
 
 namespace jsmt {
 
@@ -33,6 +34,21 @@ struct ExperimentConfig
      * exec::TaskPool). Results are bit-identical for any value.
      */
     std::size_t jobs = 0;
+    /**
+     * Retry/deadline policy for the supervised drivers. The default
+     * retries transient failures up to 3 attempts with no deadline;
+     * CLI entry points overlay JSMT_TASK_TIMEOUT/JSMT_TASK_RETRIES
+     * via resilience::SupervisorOptions::fromEnvironment(). A jobs
+     * value of 0 here inherits the field above.
+     */
+    resilience::SupervisorOptions supervision;
+    /**
+     * When non-empty, runMultithreadedSweep checkpoints each
+     * completed measurement to this manifest and resumes from it —
+     * a sweep killed partway through redoes only the remainder,
+     * bit-identically.
+     */
+    std::string checkpointPath;
 };
 
 /** One multithreaded benchmark measured HT-off and HT-on. */
@@ -47,10 +63,18 @@ struct MtCounterRow
 /**
  * Run the four multithreaded benchmarks at each thread count with HT
  * disabled and enabled; the counter rows behind Figures 1-7.
+ *
+ * The sweep runs under a resilience::Supervisor with
+ * config.supervision policy and, when config.checkpointPath is set,
+ * checkpoints/resumes through a resilience::SweepCheckpoint. When
+ * @p report is non-null the batch outcome is stored there and rows
+ * whose measurement ultimately failed are left default-initialized;
+ * when it is null any terminal failure is fatal.
  */
 std::vector<MtCounterRow> runMultithreadedSweep(
     const ExperimentConfig& config,
-    const std::vector<std::uint32_t>& thread_counts = {2});
+    const std::vector<std::uint32_t>& thread_counts = {2},
+    resilience::BatchReport* report = nullptr);
 
 /** Table 2: characterization of multithreaded benchmarks (HT on). */
 struct Table2Row

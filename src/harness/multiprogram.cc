@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <map>
+#include <utility>
 
 #include "common/log.h"
 #include "common/stats.h"
@@ -23,14 +24,28 @@ droppedMean(const std::vector<double>& durations)
     return mean(middle);
 }
 
-MultiprogramRunner::MultiprogramRunner(const SystemConfig& config,
-                                       double length_scale,
-                                       std::size_t min_runs,
-                                       std::size_t jobs)
+namespace {
+
+/** Merge the standalone jobs knob into a supervision policy. */
+resilience::SupervisorOptions
+mergeJobs(resilience::SupervisorOptions supervision,
+          std::size_t jobs)
+{
+    if (supervision.jobs == 0)
+        supervision.jobs = jobs;
+    return supervision;
+}
+
+} // namespace
+
+MultiprogramRunner::MultiprogramRunner(
+    const SystemConfig& config, double length_scale,
+    std::size_t min_runs, std::size_t jobs,
+    resilience::SupervisorOptions supervision)
     : _config(config),
       _lengthScale(length_scale),
       _minRuns(min_runs),
-      _pool(jobs)
+      _supervisor(mergeJobs(supervision, jobs))
 {
     if (min_runs < 3)
         fatal("multiprogram: need at least 3 runs to drop "
@@ -38,7 +53,9 @@ MultiprogramRunner::MultiprogramRunner(const SystemConfig& config,
 }
 
 double
-MultiprogramRunner::soloDuration(const std::string& benchmark)
+MultiprogramRunner::soloDuration(
+    const std::string& benchmark,
+    const resilience::CancellationToken* cancel)
 {
     {
         std::lock_guard<std::mutex> lock(_soloMutex);
@@ -49,6 +66,7 @@ MultiprogramRunner::soloDuration(const std::string& benchmark)
     SoloOptions options;
     options.threads = 1;
     options.lengthScale = _lengthScale;
+    options.cancel = cancel;
     const double duration =
         soloDurationCyclesCached(_config, benchmark,
                                  /*hyper_threading=*/false, options);
@@ -72,20 +90,27 @@ MultiprogramRunner::prefetchSolos(
             }
         }
     }
-    _pool.parallelFor(missing.size(), [&](std::size_t i) {
-        soloDuration(missing[i]);
-    });
+    // Supervised so one flaky baseline retries instead of failing
+    // the whole prefetch; a baseline that still fails is re-tried
+    // inline by the pair that needs it (and reported there).
+    _supervisor.run(
+        missing.size(),
+        [&](std::size_t i) { return "solo/" + missing[i]; },
+        [&](resilience::TaskContext& ctx) {
+            soloDuration(missing[ctx.index], ctx.token);
+        });
 }
 
 PairResult
-MultiprogramRunner::runPair(const std::string& a,
-                            const std::string& b)
+MultiprogramRunner::runPair(
+    const std::string& a, const std::string& b,
+    const resilience::CancellationToken* cancel)
 {
     PairResult result;
     result.a = a;
     result.b = b;
-    result.soloA = soloDuration(a);
-    result.soloB = soloDuration(b);
+    result.soloA = soloDuration(a, cancel);
+    result.soloB = soloDuration(b, cancel);
 
     SystemConfig cfg = _config;
     cfg.hyperThreading = true;
@@ -125,7 +150,13 @@ MultiprogramRunner::runPair(const std::string& a,
         slot_of[next.pid()] = slot;
         return true;
     };
+    options.cancellation = cancel;
     const RunResult run = sim.run(options);
+    if (run.cancelled) {
+        throw resilience::TaskCancelledError(
+            "co-run of '" + a + "'+'" + b +
+            "' cancelled (deadline or external cancel)");
+    }
     result.coRunCycles = static_cast<double>(run.cycles);
 
     if (durations[0].size() < _minRuns ||
@@ -151,7 +182,8 @@ MultiprogramRunner::runPair(const std::string& a,
 
 std::vector<PairResult>
 MultiprogramRunner::runPairs(
-    const std::vector<std::pair<std::string, std::string>>& pairs)
+    const std::vector<std::pair<std::string, std::string>>& pairs,
+    resilience::BatchReport* report)
 {
     std::vector<std::string> names;
     names.reserve(pairs.size() * 2);
@@ -163,19 +195,31 @@ MultiprogramRunner::runPairs(
 
     if (verbose()) {
         inform("multiprogram: " + std::to_string(pairs.size()) +
-               " pairs across " + std::to_string(_pool.jobs()) +
-               " jobs");
+               " pairs across " +
+               std::to_string(_supervisor.jobs()) + " jobs");
     }
     std::vector<PairResult> results(pairs.size());
-    _pool.parallelFor(pairs.size(), [&](std::size_t i) {
-        results[i] = runPair(pairs[i].first, pairs[i].second);
-    });
+    resilience::BatchReport batch = _supervisor.run(
+        pairs.size(),
+        [&](std::size_t i) {
+            return "pair/" + pairs[i].first + "+" + pairs[i].second;
+        },
+        [&](resilience::TaskContext& ctx) {
+            results[ctx.index] =
+                runPair(pairs[ctx.index].first,
+                        pairs[ctx.index].second, ctx.token);
+        });
+    if (report != nullptr)
+        *report = std::move(batch);
+    else if (!batch.ok())
+        fatal("multiprogram: " + batch.summary());
     return results;
 }
 
 std::vector<PairResult>
 MultiprogramRunner::runCrossProduct(
-    const std::vector<std::string>& names)
+    const std::vector<std::string>& names,
+    resilience::BatchReport* report)
 {
     std::vector<std::pair<std::string, std::string>> pairs;
     pairs.reserve(names.size() * names.size());
@@ -183,7 +227,7 @@ MultiprogramRunner::runCrossProduct(
         for (const std::string& b : names)
             pairs.emplace_back(a, b);
     }
-    return runPairs(pairs);
+    return runPairs(pairs, report);
 }
 
 } // namespace jsmt

@@ -22,7 +22,7 @@
 #include <vector>
 
 #include "core/system_config.h"
-#include "exec/task_pool.h"
+#include "resilience/supervisor.h"
 
 namespace jsmt {
 
@@ -61,34 +61,51 @@ class MultiprogramRunner
      * @param min_runs completions required per program (paper: 12).
      * @param jobs worker threads for batch entry points; 0 resolves
      *        via JSMT_JOBS / hardware_concurrency (see TaskPool).
+     * @param supervision retry/deadline policy for the batch entry
+     *        points; its jobs field, when 0, inherits @p jobs.
      */
-    explicit MultiprogramRunner(const SystemConfig& config,
-                                double length_scale = 1.0,
-                                std::size_t min_runs = 12,
-                                std::size_t jobs = 0);
+    explicit MultiprogramRunner(
+        const SystemConfig& config, double length_scale = 1.0,
+        std::size_t min_runs = 12, std::size_t jobs = 0,
+        resilience::SupervisorOptions supervision = {});
 
-    /** Co-run @p a and @p b on an HT machine; compute C_AB. */
-    PairResult runPair(const std::string& a, const std::string& b);
+    /**
+     * Co-run @p a and @p b on an HT machine; compute C_AB. A
+     * non-null @p cancel token aborts the co-run at the simulator's
+     * cancellation lattice (throws TaskCancelledError).
+     */
+    PairResult
+    runPair(const std::string& a, const std::string& b,
+            const resilience::CancellationToken* cancel = nullptr);
 
     /** HT-disabled solo duration (cached across pairs). */
-    double soloDuration(const std::string& benchmark);
+    double soloDuration(
+        const std::string& benchmark,
+        const resilience::CancellationToken* cancel = nullptr);
 
     /**
      * Run @p pairs across the worker pool; results are indexed like
      * @p pairs, so the output is identical for any job count. Solo
      * baselines of all involved benchmarks are prefetched (also in
      * parallel) before the pairs fan out.
+     *
+     * The batch runs supervised: transient failures retry per the
+     * supervision policy. When @p report is non-null the outcome is
+     * stored there and failed cells stay default-initialized; when
+     * it is null any terminal failure is fatal.
      */
     std::vector<PairResult>
     runPairs(const std::vector<
-             std::pair<std::string, std::string>>& pairs);
+                 std::pair<std::string, std::string>>& pairs,
+             resilience::BatchReport* report = nullptr);
 
     /** @return the full cross product over @p names. */
     std::vector<PairResult>
-    runCrossProduct(const std::vector<std::string>& names);
+    runCrossProduct(const std::vector<std::string>& names,
+                    resilience::BatchReport* report = nullptr);
 
     /** @return resolved worker count. */
-    std::size_t jobs() const { return _pool.jobs(); }
+    std::size_t jobs() const { return _supervisor.jobs(); }
 
   private:
     /** Warm _soloCache for every name (parallel, deduplicated). */
@@ -98,7 +115,7 @@ class MultiprogramRunner
     SystemConfig _config;
     double _lengthScale;
     std::size_t _minRuns;
-    exec::TaskPool _pool;
+    resilience::Supervisor _supervisor;
     std::mutex _soloMutex;
     std::map<std::string, double> _soloCache;
 };

@@ -7,6 +7,22 @@
 
 namespace jsmt {
 
+namespace {
+
+/** Throw TaskCancelledError if @p result was cancelled. */
+void
+checkCancelled(const RunResult& result, const char* what,
+               const std::string& benchmark)
+{
+    if (result.cancelled) {
+        throw resilience::TaskCancelledError(
+            std::string(what) + " of '" + benchmark +
+            "' cancelled (deadline or external cancel)");
+    }
+}
+
+} // namespace
+
 RunResult
 measureSolo(const SystemConfig& config, const std::string& benchmark,
             bool hyper_threading, const SoloOptions& options)
@@ -21,11 +37,15 @@ measureSolo(const SystemConfig& config, const std::string& benchmark,
     spec.threads = options.threads;
     spec.lengthScale = options.lengthScale;
 
+    Simulation::RunOptions run_options;
+    run_options.cancellation = options.cancel;
+
     Asid asid = 0;
     if (options.warmup) {
         JavaProcess& warm = sim.addProcess(spec);
         asid = warm.asid();
-        const RunResult warm_result = sim.run();
+        const RunResult warm_result = sim.run(run_options);
+        checkCancelled(warm_result, "warm-up run", benchmark);
         if (!warm_result.allComplete)
             fatal("measureSolo: warm-up run did not complete");
     }
@@ -33,7 +53,8 @@ measureSolo(const SystemConfig& config, const std::string& benchmark,
     WorkloadSpec measured = spec;
     measured.reuseAsid = asid;
     sim.addProcess(measured);
-    RunResult result = sim.run();
+    RunResult result = sim.run(run_options);
+    checkCancelled(result, "measured run", benchmark);
     if (!result.allComplete)
         fatal("measureSolo: measured run did not complete");
     return result;
@@ -54,7 +75,10 @@ soloDurationCycles(const SystemConfig& config,
     spec.threads = options.threads;
     spec.lengthScale = options.lengthScale;
     JavaProcess& process = sim.addProcess(spec);
-    const RunResult result = sim.run();
+    Simulation::RunOptions run_options;
+    run_options.cancellation = options.cancel;
+    const RunResult result = sim.run(run_options);
+    checkCancelled(result, "solo run", benchmark);
     if (!result.allComplete)
         fatal("soloDurationCycles: run did not complete");
     return static_cast<double>(process.durationCycles());
@@ -118,7 +142,10 @@ soloDurationCyclesCached(const SystemConfig& config,
             spec.threads = options.threads;
             spec.lengthScale = options.lengthScale;
             sim.addProcess(spec);
-            RunResult r = sim.run();
+            Simulation::RunOptions run_options;
+            run_options.cancellation = options.cancel;
+            RunResult r = sim.run(run_options);
+            checkCancelled(r, "solo run", benchmark);
             if (!r.allComplete)
                 fatal("soloDurationCyclesCached: run did not "
                       "complete");

@@ -15,6 +15,7 @@
 
 #include "core/simulation.h"
 #include "core/system_config.h"
+#include "resilience/cancellation.h"
 
 namespace jsmt {
 
@@ -27,6 +28,14 @@ struct SoloOptions
     double lengthScale = 1.0;
     /** Run one unmeasured warm-up iteration first. */
     bool warmup = true;
+    /**
+     * When non-null, the measurement polls this token at the
+     * simulator's cancellation lattice and throws
+     * resilience::TaskCancelledError if it fires. Not part of the
+     * run-cache key: cancellation never changes a completed
+     * result, it only prevents one. Borrowed, not owned.
+     */
+    const resilience::CancellationToken* cancel = nullptr;
 };
 
 /**

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Cooperative cancellation for simulation tasks.
+ *
+ * A CancellationToken is a shared flag set by a supervisor (watchdog
+ * deadline, operator abort) and polled by the work it supervises.
+ * Simulation::run checks it on a fixed simulated-cycle lattice — the
+ * same lattice whether or not the fast-forward optimisation is on —
+ * so the set of cycles at which a run *can* stop is deterministic
+ * and the polling cost is one compare per iteration.
+ *
+ * Header-only on purpose: jsmt_core polls tokens without linking
+ * against the resilience library that drives them.
+ */
+
+#ifndef JSMT_RESILIENCE_CANCELLATION_H
+#define JSMT_RESILIENCE_CANCELLATION_H
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+namespace jsmt::resilience {
+
+/** Shared cancel flag; all members are thread-safe. */
+class CancellationToken
+{
+  public:
+    CancellationToken() = default;
+    CancellationToken(const CancellationToken&) = delete;
+    CancellationToken& operator=(const CancellationToken&) = delete;
+
+    /** Request cancellation (idempotent). */
+    void
+    cancel() noexcept
+    {
+        _cancelled.store(true, std::memory_order_release);
+    }
+
+    /** @return whether cancellation was requested. */
+    bool
+    cancelled() const noexcept
+    {
+        return _cancelled.load(std::memory_order_acquire);
+    }
+
+    /** Re-arm the token for a fresh attempt. */
+    void
+    reset() noexcept
+    {
+        _cancelled.store(false, std::memory_order_release);
+    }
+
+  private:
+    std::atomic<bool> _cancelled{false};
+};
+
+/**
+ * Thrown by measurement helpers when a run stopped because its
+ * cancellation token fired (usually: the watchdog's deadline). The
+ * supervisor treats it as retryable — a cancelled task is requeued
+ * until the attempt cap.
+ */
+class TaskCancelledError : public std::runtime_error
+{
+  public:
+    explicit TaskCancelledError(const std::string& message)
+        : std::runtime_error(message)
+    {
+    }
+};
+
+} // namespace jsmt::resilience
+
+#endif // JSMT_RESILIENCE_CANCELLATION_H

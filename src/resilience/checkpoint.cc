@@ -1,0 +1,219 @@
+#include "resilience/checkpoint.h"
+
+#include <atomic>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "common/fileio.h"
+#include "common/json.h"
+#include "common/log.h"
+#include "exec/run_cache.h"
+
+namespace jsmt::resilience {
+
+namespace {
+
+/** Process-wide checkpoint totals (metrics export). */
+std::atomic<std::uint64_t> g_entriesResumed{0};
+std::atomic<std::uint64_t> g_flushes{0};
+std::atomic<std::uint64_t> g_loadRejects{0};
+
+/**
+ * Digest of one entry: FNV over the serialized result. Stored as a
+ * decimal string because a 64-bit hash does not round-trip through
+ * a JSON double.
+ */
+std::string
+resultDigest(const RunResult& result)
+{
+    std::string serialized;
+    exec::writeRunResultJson(serialized, result);
+    return std::to_string(exec::hashKey(serialized));
+}
+
+} // namespace
+
+SweepCheckpoint::SweepCheckpoint(std::string path,
+                                 std::size_t flush_every)
+    : _path(std::move(path)),
+      _flushEvery(flush_every > 0 ? flush_every : 1)
+{
+    loadExisting();
+}
+
+SweepCheckpoint::~SweepCheckpoint()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (_pending > 0)
+        flushLocked();
+}
+
+const FaultPlan&
+SweepCheckpoint::plan() const
+{
+    return _faultPlan != nullptr ? *_faultPlan
+                                 : FaultPlan::global();
+}
+
+void
+SweepCheckpoint::setFaultPlan(const FaultPlan* plan)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _faultPlan = plan;
+}
+
+bool
+SweepCheckpoint::loadExisting()
+{
+    std::string text;
+    if (!readFile(_path, &text))
+        return false; // No manifest yet: cold start, not an error.
+
+    // All-or-nothing: a manifest that fails to parse, or whose
+    // digests disagree with its payloads, is rejected wholesale. A
+    // partially trusted checkpoint could silently skip points that
+    // were never actually simulated.
+    const auto reject = [&] {
+        warn("checkpoint: ignoring invalid manifest " + _path +
+             " (starting cold)");
+        g_loadRejects.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    };
+    json::Value root;
+    if (!json::parse(text, &root) || !root.isObject())
+        return reject();
+    const json::Value* entries = root.field("entries");
+    if (!entries || !entries->isArray())
+        return reject();
+    std::vector<std::pair<std::string, RunResult>> decoded;
+    decoded.reserve(entries->items.size());
+    for (const json::Value& entry : entries->items) {
+        if (!entry.isObject())
+            return reject();
+        const std::string key =
+            json::asString(entry.field("key"));
+        const std::string digest =
+            json::asString(entry.field("digest"));
+        const json::Value* result = entry.field("result");
+        RunResult value;
+        if (key.empty() || digest.empty() || !result ||
+            !exec::readRunResultJson(*result, &value)) {
+            return reject();
+        }
+        if (resultDigest(value) != digest)
+            return reject();
+        decoded.emplace_back(key, std::move(value));
+    }
+
+    std::lock_guard<std::mutex> lock(_mutex);
+    for (auto& [key, value] : decoded)
+        _entries.emplace(std::move(key), std::move(value));
+    _resumed = _entries.size();
+    g_entriesResumed.fetch_add(_resumed,
+                               std::memory_order_relaxed);
+    return true;
+}
+
+bool
+SweepCheckpoint::lookup(const std::string& key,
+                        RunResult* out) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    const auto it = _entries.find(key);
+    if (it == _entries.end())
+        return false;
+    if (out != nullptr)
+        *out = it->second;
+    return true;
+}
+
+void
+SweepCheckpoint::record(const std::string& key,
+                        const RunResult& result)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _entries[key] = result;
+    if (++_pending >= _flushEvery)
+        flushLocked();
+}
+
+bool
+SweepCheckpoint::flush()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return flushLocked();
+}
+
+bool
+SweepCheckpoint::flushLocked()
+{
+    std::string out = "{\"version\":1,\"entries\":[\n";
+    {
+        bool first = true;
+        for (const auto& [key, result] : _entries) {
+            if (!first)
+                out += ",\n";
+            first = false;
+            out += "{\"key\":";
+            json::appendEscaped(out, key);
+            out += ",\"digest\":";
+            json::appendEscaped(out, resultDigest(result));
+            out += ",\"result\":";
+            exec::writeRunResultJson(out, result);
+            out += '}';
+        }
+    }
+    out += "\n]}\n";
+
+    const FaultPlan& fault_plan = plan();
+    const FaultPlan::SpillFault fault =
+        fault_plan.spillFault(fault_plan.nextSpillOrdinal());
+    if (fault == FaultPlan::SpillFault::kTruncate) {
+        // Injected crash mid-flush: truncated .tmp, no rename —
+        // the previous manifest stays valid and the entries stay
+        // pending for the next flush.
+        std::ofstream tmp(atomicTempPath(_path), std::ios::trunc);
+        tmp << out.substr(0, out.size() / 2);
+        warn("checkpoint: injected crash mid-flush of " + _path);
+        return false;
+    }
+    if (!atomicWriteFile(_path, out))
+        return false;
+    if (fault == FaultPlan::SpillFault::kCorrupt) {
+        std::ofstream file(_path, std::ios::in | std::ios::out);
+        file.seekp(static_cast<std::streamoff>(out.size() / 2));
+        file << "\x01garbage\x02";
+        warn("checkpoint: injected corruption into " + _path);
+    }
+    _pending = 0;
+    g_flushes.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+std::size_t
+SweepCheckpoint::size() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _entries.size();
+}
+
+std::uint64_t
+SweepCheckpoint::totalEntriesResumed()
+{
+    return g_entriesResumed.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+SweepCheckpoint::totalFlushes()
+{
+    return g_flushes.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+SweepCheckpoint::totalLoadRejects()
+{
+    return g_loadRejects.load(std::memory_order_relaxed);
+}
+
+} // namespace jsmt::resilience

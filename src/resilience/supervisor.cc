@@ -1,0 +1,368 @@
+#include "resilience/supervisor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/env.h"
+#include "common/json.h"
+#include "common/log.h"
+
+namespace jsmt::resilience {
+
+namespace {
+
+/** Process-wide supervision totals (metrics export). */
+std::atomic<std::uint64_t> g_retries{0};
+std::atomic<std::uint64_t> g_deadlineCancels{0};
+std::atomic<std::uint64_t> g_timeouts{0};
+std::atomic<std::uint64_t> g_failures{0};
+
+/** FNV-1a over a task name mixed with attempt and seed (jitter). */
+std::uint64_t
+jitterHash(const std::string& name, int attempt, std::uint64_t seed)
+{
+    std::uint64_t h = 14695981039346656037ULL ^ seed;
+    for (const char c : name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+    }
+    h ^= static_cast<std::uint64_t>(attempt);
+    h *= 1099511628211ULL;
+    return h;
+}
+
+} // namespace
+
+SupervisorOptions
+SupervisorOptions::fromEnvironment()
+{
+    SupervisorOptions options;
+    options.taskTimeoutSeconds =
+        envDouble("JSMT_TASK_TIMEOUT", options.taskTimeoutSeconds,
+                  0.0);
+    options.maxAttempts = static_cast<int>(envUint(
+        "JSMT_TASK_RETRIES",
+        static_cast<std::uint64_t>(options.maxAttempts), 1));
+    return options;
+}
+
+const char*
+failureKindName(FailureKind kind)
+{
+    switch (kind) {
+        case FailureKind::kTimeout: return "timeout";
+        case FailureKind::kException: return "exception";
+        case FailureKind::kRetryExhausted: return "retry-exhausted";
+    }
+    return "unknown";
+}
+
+std::string
+BatchReport::summary() const
+{
+    std::string out = std::to_string(succeeded) + "/" +
+                      std::to_string(tasks) + " tasks succeeded, " +
+                      std::to_string(retries) + " retries, " +
+                      std::to_string(timeouts) + " timeouts, " +
+                      std::to_string(failures.size()) + " failures";
+    return out;
+}
+
+void
+BatchReport::toJson(std::string& out) const
+{
+    out += "{\"tasks\":" + std::to_string(tasks);
+    out += ",\"succeeded\":" + std::to_string(succeeded);
+    out += ",\"retries\":" + std::to_string(retries);
+    out += ",\"timeouts\":" + std::to_string(timeouts);
+    out += ",\"failures\":[";
+    for (std::size_t i = 0; i < failures.size(); ++i) {
+        const TaskFailure& f = failures[i];
+        if (i > 0)
+            out += ',';
+        out += "{\"index\":" + std::to_string(f.index);
+        out += ",\"name\":";
+        json::appendEscaped(out, f.name);
+        out += ",\"kind\":\"";
+        out += failureKindName(f.kind);
+        out += "\",\"attempts\":" + std::to_string(f.attempts);
+        out += ",\"message\":";
+        json::appendEscaped(out, f.message);
+        out += '}';
+    }
+    out += "]}";
+}
+
+Supervisor::Supervisor(SupervisorOptions options)
+    : _options(options), _pool(options.jobs)
+{
+    if (_options.maxAttempts < 1)
+        _options.maxAttempts = 1;
+    if (_options.taskTimeoutSeconds > 0.0)
+        _watchdog = std::thread([this] { watchdogLoop(); });
+}
+
+Supervisor::~Supervisor()
+{
+    if (_watchdog.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(_watchMutex);
+            _stopWatchdog = true;
+        }
+        _watchWake.notify_all();
+        _watchdog.join();
+    }
+}
+
+const FaultPlan&
+Supervisor::plan() const
+{
+    return _options.faultPlan != nullptr ? *_options.faultPlan
+                                         : FaultPlan::global();
+}
+
+void
+Supervisor::watchdogLoop()
+{
+    std::unique_lock<std::mutex> lock(_watchMutex);
+    while (!_stopWatchdog) {
+        auto next = std::chrono::steady_clock::time_point::max();
+        for (const Watch& watch : _watches) {
+            if (watch.armed && !watch.fired &&
+                watch.deadline < next) {
+                next = watch.deadline;
+            }
+        }
+        if (next == std::chrono::steady_clock::time_point::max()) {
+            _watchWake.wait(lock);
+            continue;
+        }
+        _watchWake.wait_until(lock, next);
+        const auto now = std::chrono::steady_clock::now();
+        for (Watch& watch : _watches) {
+            if (watch.armed && !watch.fired &&
+                now >= watch.deadline) {
+                watch.fired = true;
+                watch.token->cancel();
+                g_deadlineCancels.fetch_add(
+                    1, std::memory_order_relaxed);
+            }
+        }
+    }
+}
+
+void
+Supervisor::armWatch(std::size_t slot, CancellationToken* token)
+{
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(
+                _options.taskTimeoutSeconds));
+    {
+        std::lock_guard<std::mutex> lock(_watchMutex);
+        Watch& watch = _watches[slot];
+        watch.token = token;
+        watch.deadline = deadline;
+        watch.armed = true;
+        watch.fired = false;
+    }
+    _watchWake.notify_all();
+}
+
+bool
+Supervisor::disarmWatch(std::size_t slot)
+{
+    std::lock_guard<std::mutex> lock(_watchMutex);
+    Watch& watch = _watches[slot];
+    watch.armed = false;
+    watch.token = nullptr;
+    return watch.fired;
+}
+
+std::uint64_t
+Supervisor::backoffMs(const std::string& name, int attempt) const
+{
+    std::uint64_t backoff = _options.backoffBaseMs;
+    for (int i = 1; i < attempt && backoff < _options.backoffMaxMs;
+         ++i)
+        backoff *= 2;
+    backoff = std::min(backoff, _options.backoffMaxMs);
+    // Deterministic jitter: same task + attempt + seed always waits
+    // the same amount, so a failing schedule replays.
+    const std::uint64_t jitter =
+        jitterHash(name, attempt, _options.jitterSeed) %
+        (backoff + 1);
+    return backoff + jitter;
+}
+
+BatchReport
+Supervisor::run(
+    std::size_t count,
+    const std::function<std::string(std::size_t)>& name_of,
+    const std::function<void(TaskContext&)>& body)
+{
+    BatchReport report;
+    report.tasks = count;
+    if (count == 0)
+        return report;
+    {
+        std::lock_guard<std::mutex> lock(_watchMutex);
+        _watches.assign(count, Watch{});
+    }
+    std::mutex reportMutex;
+    const FaultPlan& fault_plan = plan();
+    const bool watched = _options.taskTimeoutSeconds > 0.0;
+
+    const auto supervised = [&](std::size_t index) {
+        const std::string name = name_of(index);
+        const std::uint64_t delay_ms =
+            fault_plan.taskDelayMs(name);
+        int attempt = 1;
+        for (;;) {
+            CancellationToken token;
+            TaskContext ctx;
+            ctx.index = index;
+            ctx.attempt = attempt;
+            ctx.token = &token;
+            bool failed = false;
+            bool retryable = false;
+            std::string message;
+            if (watched)
+                armWatch(index, &token);
+            try {
+                if (delay_ms > 0) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(delay_ms));
+                }
+                if (fault_plan.shouldFailTask(name, attempt)) {
+                    throw RetryableError(
+                        "injected failure for task '" + name +
+                        "' attempt " + std::to_string(attempt));
+                }
+                body(ctx);
+            } catch (const RetryableError& e) {
+                failed = true;
+                retryable = true;
+                message = e.what();
+            } catch (const TaskCancelledError& e) {
+                failed = true;
+                retryable = true;
+                message = e.what();
+            } catch (const std::exception& e) {
+                failed = true;
+                message = e.what();
+            } catch (...) {
+                failed = true;
+                message = "(non-standard exception)";
+            }
+            const bool timed_out =
+                watched ? disarmWatch(index) : false;
+            if (!failed) {
+                // A deadline that fired after the body's last
+                // cancellation check is harmless: the result is
+                // complete and valid.
+                std::lock_guard<std::mutex> lock(reportMutex);
+                ++report.succeeded;
+                return;
+            }
+            if (timed_out) {
+                retryable = true;
+                std::lock_guard<std::mutex> lock(reportMutex);
+                ++report.timeouts;
+            }
+            if (retryable && attempt < _options.maxAttempts) {
+                g_retries.fetch_add(1, std::memory_order_relaxed);
+                {
+                    std::lock_guard<std::mutex> lock(reportMutex);
+                    ++report.retries;
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(
+                        backoffMs(name, attempt)));
+                ++attempt;
+                continue;
+            }
+            TaskFailure failure;
+            failure.index = index;
+            failure.name = name;
+            failure.kind = !retryable
+                               ? FailureKind::kException
+                               : (timed_out
+                                      ? FailureKind::kTimeout
+                                      : FailureKind::kRetryExhausted);
+            failure.attempts = attempt;
+            failure.message = message;
+            g_failures.fetch_add(1, std::memory_order_relaxed);
+            if (failure.kind == FailureKind::kTimeout)
+                g_timeouts.fetch_add(1, std::memory_order_relaxed);
+            warn("supervisor: task '" + name + "' failed (" +
+                 failureKindName(failure.kind) + " after " +
+                 std::to_string(attempt) + " attempt(s)): " +
+                 message);
+            std::lock_guard<std::mutex> lock(reportMutex);
+            report.failures.push_back(std::move(failure));
+            return;
+        }
+    };
+
+    try {
+        _pool.parallelFor(count, supervised);
+    } catch (const exec::BatchError& e) {
+        // The supervised wrapper catches everything a task throws,
+        // so this only fires if the wrapper itself failed (e.g.
+        // name_of threw). Surface those as permanent failures
+        // rather than unwinding the sweep.
+        for (const exec::TaskError& task_error : e.errors()) {
+            TaskFailure failure;
+            failure.index = task_error.index;
+            failure.name = "(task " +
+                           std::to_string(task_error.index) + ")";
+            failure.kind = FailureKind::kException;
+            failure.attempts = 1;
+            try {
+                std::rethrow_exception(task_error.error);
+            } catch (const std::exception& inner) {
+                failure.message = inner.what();
+            } catch (...) {
+                failure.message = "(non-standard exception)";
+            }
+            g_failures.fetch_add(1, std::memory_order_relaxed);
+            report.failures.push_back(std::move(failure));
+        }
+    }
+
+    std::sort(report.failures.begin(), report.failures.end(),
+              [](const TaskFailure& a, const TaskFailure& b) {
+                  return a.index < b.index;
+              });
+    return report;
+}
+
+std::uint64_t
+Supervisor::totalRetries()
+{
+    return g_retries.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Supervisor::totalDeadlineCancels()
+{
+    return g_deadlineCancels.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Supervisor::totalTimeouts()
+{
+    return g_timeouts.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Supervisor::totalFailures()
+{
+    return g_failures.load(std::memory_order_relaxed);
+}
+
+} // namespace jsmt::resilience

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Supervised parallel execution: deadlines, retry, failure reports.
+ *
+ * TaskPool::parallelFor is all-or-nothing — one thrown exception
+ * fails the batch. A production-scale sweep wants the opposite: a
+ * single flaky or wedged point should be retried, then reported,
+ * while the other few hundred configurations complete. Supervisor
+ * wraps a TaskPool with exactly that policy:
+ *
+ *  - every task gets a CancellationToken; a watchdog thread cancels
+ *    tokens whose wall-clock deadline (--task-timeout /
+ *    JSMT_TASK_TIMEOUT) has passed, and the simulator observes the
+ *    token at deterministic cycle boundaries;
+ *  - retryable failures (RetryableError, cancellation/timeout) are
+ *    re-run in place with exponential backoff and deterministic
+ *    jitter, up to a per-task attempt cap;
+ *  - whatever still fails is returned as structured TaskFailure
+ *    entries in a BatchReport instead of unwinding the sweep.
+ *
+ * Fault-injection hooks (FaultPlan task-fail / task-delay clauses)
+ * fire inside the supervised body, so the retry and reporting paths
+ * are testable without any real flakiness.
+ */
+
+#ifndef JSMT_RESILIENCE_SUPERVISOR_H
+#define JSMT_RESILIENCE_SUPERVISOR_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/task_pool.h"
+#include "resilience/cancellation.h"
+#include "resilience/fault_plan.h"
+
+namespace jsmt::resilience {
+
+/** Policy knobs for a Supervisor. */
+struct SupervisorOptions
+{
+    /** Worker threads; 0 = TaskPool::defaultJobs() (JSMT_JOBS). */
+    std::size_t jobs = 0;
+    /** Attempts per task including the first; >= 1. */
+    int maxAttempts = 3;
+    /** Wall-clock deadline per attempt in seconds; 0 disables. */
+    double taskTimeoutSeconds = 0.0;
+    /** First retry backoff in milliseconds (doubles per attempt). */
+    std::uint64_t backoffBaseMs = 1;
+    /** Backoff ceiling in milliseconds. */
+    std::uint64_t backoffMaxMs = 100;
+    /** Seed for the deterministic backoff jitter hash. */
+    std::uint64_t jitterSeed = 42;
+    /** Fault plan override; nullptr = FaultPlan::global(). */
+    const FaultPlan* faultPlan = nullptr;
+
+    /**
+     * Defaults overlaid with JSMT_TASK_TIMEOUT (seconds, fractional
+     * allowed) and JSMT_TASK_RETRIES (attempt cap). Malformed
+     * values warn and keep the default.
+     */
+    static SupervisorOptions fromEnvironment();
+};
+
+/** What a supervised task body sees about its own execution. */
+struct TaskContext
+{
+    /** Task index within the batch. */
+    std::size_t index = 0;
+    /** 1-based attempt number. */
+    int attempt = 1;
+    /**
+     * Cancellation token for this attempt; pass it to
+     * Simulation::RunOptions::cancellation so the watchdog can stop
+     * a wedged run at the next check boundary.
+     */
+    const CancellationToken* token = nullptr;
+};
+
+/** Terminal classification of a task that exhausted its policy. */
+enum class FailureKind
+{
+    /** Last attempt exceeded its wall-clock deadline. */
+    kTimeout,
+    /** Threw a non-retryable exception (first attempt is final). */
+    kException,
+    /** Retryable failures persisted through every attempt. */
+    kRetryExhausted,
+};
+
+/** @return a stable lowercase name for @p kind. */
+const char* failureKindName(FailureKind kind);
+
+/** One task that the supervisor gave up on. */
+struct TaskFailure
+{
+    std::size_t index = 0;
+    std::string name;
+    FailureKind kind = FailureKind::kException;
+    /** Attempts actually made. */
+    int attempts = 0;
+    /** what() of the final failure. */
+    std::string message;
+};
+
+/** Outcome of one supervised batch. */
+struct BatchReport
+{
+    /** Tasks in the batch. */
+    std::size_t tasks = 0;
+    /** Tasks that ultimately succeeded. */
+    std::size_t succeeded = 0;
+    /** Retry attempts made (beyond each task's first). */
+    std::uint64_t retries = 0;
+    /** Deadline cancellations delivered by the watchdog. */
+    std::uint64_t timeouts = 0;
+    /** Tasks given up on, ordered by index. */
+    std::vector<TaskFailure> failures;
+
+    /** @return whether every task eventually succeeded. */
+    bool ok() const { return failures.empty(); }
+    /** One-line human summary. */
+    std::string summary() const;
+    /** Append the report as a JSON object to @p out. */
+    void toJson(std::string& out) const;
+};
+
+/**
+ * Supervised TaskPool: runs batches under the retry/deadline policy
+ * in its SupervisorOptions and reports failures instead of
+ * throwing. Retries happen inline in the failing task's pool slot,
+ * so batch scheduling stays deterministic for a given plan.
+ */
+class Supervisor
+{
+  public:
+    explicit Supervisor(SupervisorOptions options = {});
+    ~Supervisor();
+
+    Supervisor(const Supervisor&) = delete;
+    Supervisor& operator=(const Supervisor&) = delete;
+
+    const SupervisorOptions& options() const { return _options; }
+
+    /** @return resolved worker count of the underlying pool. */
+    std::size_t jobs() const { return _pool.jobs(); }
+
+    /**
+     * Run @p body for indices [0, count) under supervision.
+     * @p name_of labels tasks for fault matching and reports.
+     * Never throws on task failure — inspect the BatchReport.
+     */
+    BatchReport run(
+        std::size_t count,
+        const std::function<std::string(std::size_t)>& name_of,
+        const std::function<void(TaskContext&)>& body);
+
+    /** @name Process-wide totals (metrics export) */
+    ///@{
+    /** Retry attempts across every supervisor in this process. */
+    static std::uint64_t totalRetries();
+    /** Deadline cancellations delivered by watchdogs. */
+    static std::uint64_t totalDeadlineCancels();
+    /** Tasks that terminally failed with kTimeout. */
+    static std::uint64_t totalTimeouts();
+    /** Tasks given up on (all kinds). */
+    static std::uint64_t totalFailures();
+    ///@}
+
+  private:
+    struct Watch
+    {
+        CancellationToken* token = nullptr;
+        std::chrono::steady_clock::time_point deadline;
+        bool armed = false;
+        bool fired = false;
+    };
+
+    const FaultPlan& plan() const;
+    void watchdogLoop();
+    /** Arm slot @p slot to fire after the configured timeout. */
+    void armWatch(std::size_t slot, CancellationToken* token);
+    /** Disarm slot @p slot. @return whether the deadline fired. */
+    bool disarmWatch(std::size_t slot);
+    std::uint64_t backoffMs(const std::string& name,
+                            int attempt) const;
+
+    SupervisorOptions _options;
+    exec::TaskPool _pool;
+
+    std::mutex _watchMutex;
+    std::condition_variable _watchWake;
+    std::vector<Watch> _watches;
+    bool _stopWatchdog = false;
+    std::thread _watchdog;
+};
+
+} // namespace jsmt::resilience
+
+#endif // JSMT_RESILIENCE_SUPERVISOR_H

@@ -8,6 +8,9 @@
 #include "core/machine.h"
 #include "exec/run_cache.h"
 #include "exec/task_pool.h"
+#include "resilience/checkpoint.h"
+#include "resilience/fault_plan.h"
+#include "resilience/supervisor.h"
 
 namespace jsmt::trace {
 
@@ -471,6 +474,38 @@ MetricsCollector::writeJson(std::ostream& out) const
          static_cast<double>(exec::TaskPool::totalBatchesRun())},
         {"task_pool_default_jobs",
          static_cast<double>(exec::TaskPool::defaultJobs())},
+        {"supervisor_retries",
+         static_cast<double>(
+             resilience::Supervisor::totalRetries())},
+        {"supervisor_timeouts",
+         static_cast<double>(
+             resilience::Supervisor::totalTimeouts())},
+        {"supervisor_deadline_cancels",
+         static_cast<double>(
+             resilience::Supervisor::totalDeadlineCancels())},
+        {"supervisor_failures",
+         static_cast<double>(
+             resilience::Supervisor::totalFailures())},
+        {"faults_injected",
+         static_cast<double>(
+             resilience::FaultPlan::totalInjectedAll())},
+        {"checkpoint_entries_resumed",
+         static_cast<double>(
+             resilience::SweepCheckpoint::totalEntriesResumed())},
+        {"checkpoint_flushes",
+         static_cast<double>(
+             resilience::SweepCheckpoint::totalFlushes())},
+        {"checkpoint_load_rejects",
+         static_cast<double>(
+             resilience::SweepCheckpoint::totalLoadRejects())},
+        {"run_cache_spill_saves",
+         static_cast<double>(exec::RunCache::totalSpillSaves())},
+        {"run_cache_spill_save_failures",
+         static_cast<double>(
+             exec::RunCache::totalSpillSaveFailures())},
+        {"run_cache_spill_load_rejects",
+         static_cast<double>(
+             exec::RunCache::totalSpillLoadRejects())},
     };
     out << _registry.toJson(derived);
 }

@@ -1,6 +1,7 @@
 #include "trace/trace_sink.h"
 
 #include <algorithm>
+#include <new>
 #include <ostream>
 
 #include "common/json.h"
@@ -19,11 +20,28 @@ static_assert(sizeof(kTrackNames) / sizeof(kTrackNames[0]) ==
 
 } // namespace
 
-TraceSink::TraceSink(std::size_t capacity)
-    : _capacity(capacity), _ring(capacity)
+TraceSink::TraceSink(std::size_t capacity,
+                     const resilience::FaultPlan* fault_plan)
+    : _capacity(capacity)
 {
     if (capacity == 0)
         fatal("trace: ring capacity must be positive");
+    const resilience::FaultPlan& plan =
+        fault_plan != nullptr ? *fault_plan
+                              : resilience::FaultPlan::global();
+    try {
+        if (plan.shouldFailSinkAllocation())
+            throw std::bad_alloc();
+        _ring.resize(_capacity);
+    } catch (const std::bad_alloc&) {
+        // Observability must never take down the run it observes:
+        // degrade to a permanently disabled sink and keep going.
+        warn("trace: ring allocation failed (capacity " +
+             std::to_string(capacity) +
+             " events); sink degraded to disabled");
+        _degraded = true;
+        _capacity = 0;
+    }
 }
 
 TraceEvent*

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "resilience/fault_plan.h"
 
 namespace jsmt::trace {
 
@@ -78,13 +79,31 @@ class TraceSink
     /** Default ring capacity (events). */
     static constexpr std::size_t kDefaultCapacity = 1u << 16;
 
-    explicit TraceSink(std::size_t capacity = kDefaultCapacity);
+    /**
+     * Construct with a ring of @p capacity events. Allocation
+     * failure (real bad_alloc, or injected via @p fault_plan's
+     * sink-alloc clause; nullptr = FaultPlan::global()) does not
+     * throw: the sink degrades to permanently disabled — the run
+     * proceeds correct but untraced.
+     */
+    explicit TraceSink(
+        std::size_t capacity = kDefaultCapacity,
+        const resilience::FaultPlan* fault_plan = nullptr);
 
-    /** Runtime switch; emit calls are no-ops while disabled. */
-    void setEnabled(bool enabled) { _enabled = enabled; }
+    /**
+     * Runtime switch; emit calls are no-ops while disabled. A
+     * degraded sink ignores enable requests.
+     */
+    void setEnabled(bool enabled)
+    {
+        _enabled = enabled && !_degraded;
+    }
 
     /** @return whether events are currently captured. */
     bool enabled() const { return _enabled; }
+
+    /** @return whether the ring allocation failed at construction. */
+    bool degraded() const { return _degraded; }
 
     /** Point event at @p ts on @p track. */
     void
@@ -220,7 +239,8 @@ class TraceSink
     TraceEvent* last();
 
     bool _enabled = false;
-    std::size_t _capacity;
+    bool _degraded = false;
+    std::size_t _capacity = 0;
     std::size_t _head = 0;
     std::size_t _size = 0;
     std::uint64_t _dropped = 0;

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * End-to-end contract tests of the jsmt_run CLI, driven through the
+ * installed binary (path injected as JSMT_RUN_BIN): usage errors
+ * exit with code 2 and print the valid sets, malformed JSMT_*
+ * environment values warn and fall back to defaults, and a sweep
+ * resumed from a checkpoint manifest prints bit-identical stdout.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <sys/wait.h>
+
+namespace jsmt {
+namespace {
+
+constexpr int kUsageError = 2;
+
+struct CommandResult
+{
+    int status = -1;
+    std::string output;
+};
+
+/** Run @p command through the shell, capturing its output. */
+CommandResult
+runCommand(const std::string& command)
+{
+    CommandResult result;
+    FILE* pipe = popen(command.c_str(), "r");
+    if (pipe == nullptr)
+        return result;
+    char buffer[4096];
+    std::size_t n = 0;
+    while ((n = fread(buffer, 1, sizeof buffer, pipe)) > 0)
+        result.output.append(buffer, n);
+    const int rc = pclose(pipe);
+    if (WIFEXITED(rc))
+        result.status = WEXITSTATUS(rc);
+    return result;
+}
+
+std::string
+binary()
+{
+    return std::string("\"") + JSMT_RUN_BIN + "\"";
+}
+
+bool
+contains(const std::string& haystack, const std::string& needle)
+{
+    return haystack.find(needle) != std::string::npos;
+}
+
+TEST(CliUsage, UnknownFlagExitsTwoAndListsFlags)
+{
+    const CommandResult r =
+        runCommand(binary() + " --no-such-flag 2>&1");
+    EXPECT_EQ(r.status, kUsageError);
+    EXPECT_TRUE(contains(r.output, "unknown option")) << r.output;
+    // The valid flag set is printed so the user can self-correct.
+    EXPECT_TRUE(contains(r.output, "--benchmark")) << r.output;
+    EXPECT_TRUE(contains(r.output, "--task-timeout")) << r.output;
+    EXPECT_TRUE(contains(r.output, "--resume")) << r.output;
+}
+
+TEST(CliUsage, UnknownBenchmarkExitsTwoAndListsBenchmarks)
+{
+    const CommandResult r = runCommand(
+        binary() + " --benchmark not_a_benchmark 2>&1");
+    EXPECT_EQ(r.status, kUsageError);
+    EXPECT_TRUE(contains(r.output, "unknown benchmark"))
+        << r.output;
+    EXPECT_TRUE(contains(r.output, "compress")) << r.output;
+    EXPECT_TRUE(contains(r.output, "PseudoJBB")) << r.output;
+}
+
+TEST(CliUsage, UnknownEventExitsTwoAndListsEvents)
+{
+    const CommandResult r = runCommand(
+        binary() +
+        " --benchmark compress --events not_an_event 2>&1");
+    EXPECT_EQ(r.status, kUsageError);
+    EXPECT_TRUE(contains(r.output, "unknown event")) << r.output;
+    EXPECT_TRUE(contains(r.output, "cycles")) << r.output;
+}
+
+TEST(CliUsage, MalformedNumericValueExitsTwo)
+{
+    EXPECT_EQ(runCommand(binary() +
+                         " --benchmark compress --scale abc 2>&1")
+                  .status,
+              kUsageError);
+    EXPECT_EQ(runCommand(binary() +
+                         " --benchmark compress --task-timeout "
+                         "soon 2>&1")
+                  .status,
+              kUsageError);
+    EXPECT_EQ(runCommand(binary() +
+                         " --benchmark compress --retries 0 2>&1")
+                  .status,
+              kUsageError);
+}
+
+TEST(CliUsage, MissingFlagValueExitsTwo)
+{
+    const CommandResult r =
+        runCommand(binary() + " --benchmark 2>&1");
+    EXPECT_EQ(r.status, kUsageError);
+}
+
+TEST(CliEnv, MalformedJobsWarnsAndStillRuns)
+{
+    // Sweep mode consumes JSMT_JOBS (the worker pool); the
+    // malformed value must warn and fall back, not abort.
+    const CommandResult r = runCommand(
+        "JSMT_JOBS=abc " + binary() +
+        " --sweep jess --scale 0.02 2>&1");
+    EXPECT_EQ(r.status, 0) << r.output;
+    EXPECT_TRUE(contains(r.output, "JSMT_JOBS")) << r.output;
+}
+
+TEST(CliEnv, MalformedTaskTimeoutWarnsAndStillRuns)
+{
+    const CommandResult r = runCommand(
+        "JSMT_TASK_TIMEOUT=never " + binary() +
+        " --benchmark compress --scale 0.02 2>&1");
+    EXPECT_EQ(r.status, 0) << r.output;
+    EXPECT_TRUE(contains(r.output, "JSMT_TASK_TIMEOUT"))
+        << r.output;
+}
+
+TEST(CliSweep, SupervisionFlagsAreAccepted)
+{
+    const CommandResult r = runCommand(
+        binary() +
+        " --sweep jess --scale 0.02 --task-timeout 300"
+        " --retries 2 2>&1");
+    EXPECT_EQ(r.status, 0) << r.output;
+}
+
+TEST(CliSweep, ResumedSweepPrintsBitIdenticalStdout)
+{
+    const std::string manifest =
+        testing::TempDir() + "jsmt_cli_sweep_manifest.json";
+    std::remove(manifest.c_str());
+    const std::string sweep =
+        binary() + " --sweep jess,db --scale 0.02 --resume \"" +
+        manifest + "\" 2>/dev/null";
+
+    const CommandResult cold = runCommand(sweep);
+    ASSERT_EQ(cold.status, 0) << cold.output;
+    EXPECT_TRUE(std::ifstream(manifest).good())
+        << "manifest not written";
+
+    // Second invocation replays every point from the manifest; the
+    // measurement table must be byte-identical.
+    const CommandResult resumed = runCommand(sweep);
+    ASSERT_EQ(resumed.status, 0) << resumed.output;
+    EXPECT_EQ(cold.output, resumed.output);
+
+    // The resumed-entry count is reported on stderr, never stdout.
+    const CommandResult chatty = runCommand(
+        binary() + " --sweep jess,db --scale 0.02 --resume \"" +
+        manifest + "\" 2>&1 1>/dev/null");
+    EXPECT_EQ(chatty.status, 0);
+    EXPECT_TRUE(contains(chatty.output, "resumed")) << chatty.output;
+    std::remove(manifest.c_str());
+}
+
+TEST(CliSweep, SigkilledSweepResumesBitIdentically)
+{
+    const std::string manifest =
+        testing::TempDir() + "jsmt_cli_kill_manifest.json";
+    std::remove(manifest.c_str());
+    // Large enough that the whole sweep takes a few seconds, so
+    // the SIGKILL below lands while measurements are in flight.
+    const std::string sweep_args = " --sweep jess,db --scale 0.5";
+
+    // Uninterrupted golden run, no checkpoint.
+    const CommandResult baseline =
+        runCommand(binary() + sweep_args + " 2>/dev/null");
+    ASSERT_EQ(baseline.status, 0);
+
+    // Start the checkpointed sweep and SIGKILL the driver mid-run;
+    // completed points are already in the manifest (flushed on
+    // every completion through the atomic-rename protocol).
+    runCommand("JSMT_JOBS=2 " + binary() + sweep_args +
+               " --resume \"" + manifest +
+               "\" >/dev/null 2>&1 & CPID=$!; sleep 1.2;"
+               " kill -9 $CPID 2>/dev/null; wait $CPID 2>/dev/null");
+
+    // Resume: replay the manifest, simulate only the remainder.
+    // The measurement table must match the golden run byte for
+    // byte (covers both benchmarks in both HT modes).
+    const CommandResult resumed = runCommand(
+        binary() + sweep_args + " --resume \"" + manifest +
+        "\" 2>/dev/null");
+    ASSERT_EQ(resumed.status, 0);
+    EXPECT_EQ(baseline.output, resumed.output);
+    std::remove(manifest.c_str());
+}
+
+} // namespace
+} // namespace jsmt

@@ -21,6 +21,7 @@
 #include "exec/task_pool.h"
 #include "harness/solo.h"
 #include "jvm/benchmarks.h"
+#include "resilience/fault_plan.h"
 
 namespace jsmt {
 namespace {
@@ -424,6 +425,94 @@ TEST(ExecDeterminism, SpilledReplayMatchesFreshRun)
     RunResult replayed;
     ASSERT_TRUE(warm.lookup(key, &replayed));
     expectIdenticalResults(fresh, replayed);
+    std::remove(path.c_str());
+}
+
+// Every escaping exception is collected — not just the first — and
+// reported once, sorted by batch index.
+TEST(TaskPool, AllExceptionsAggregateIntoBatchError)
+{
+    TaskPool pool(4);
+    bool caught = false;
+    try {
+        pool.parallelFor(32, [](std::size_t i) {
+            if (i == 19 || i == 3 || i == 11)
+                throw std::runtime_error("boom " +
+                                         std::to_string(i));
+        });
+    } catch (const exec::BatchError& batch) {
+        caught = true;
+        ASSERT_EQ(batch.errors().size(), 3u);
+        EXPECT_EQ(batch.errors()[0].index, 3u);
+        EXPECT_EQ(batch.errors()[1].index, 11u);
+        EXPECT_EQ(batch.errors()[2].index, 19u);
+        EXPECT_NE(std::string(batch.what()).find("3 task(s)"),
+                  std::string::npos);
+        EXPECT_NE(std::string(batch.what()).find("index 3"),
+                  std::string::npos);
+    }
+    EXPECT_TRUE(caught);
+}
+
+// A batch where every task throws must neither wedge the waiting
+// caller nor poison the pool for destruction right afterwards.
+TEST(TaskPool, AllTasksThrowingDoesNotDeadlock)
+{
+    TaskPool pool(4);
+    try {
+        pool.parallelFor(64, [](std::size_t) {
+            throw std::runtime_error("total failure");
+        });
+        FAIL() << "batch should have thrown";
+    } catch (const exec::BatchError& batch) {
+        EXPECT_EQ(batch.errors().size(), 64u);
+    }
+    // Pool destructs immediately here; a stuck worker would hang
+    // the test past its ctest timeout.
+}
+
+// Crash-simulation regression for the atomic spill protocol: an
+// injected crash mid-save leaves a truncated .tmp behind but never
+// replaces the previous good spill.
+TEST(RunCache, InjectedCrashMidSaveLeavesPriorSpillLoadable)
+{
+    const std::string path =
+        testing::TempDir() + "jsmt_exec_test_crash_spill.json";
+    std::remove(path.c_str());
+
+    RunResult result;
+    result.cycles = 777;
+    result.allComplete = true;
+
+    RunCache cache;
+    cache.insert("crash-key", result);
+    ASSERT_TRUE(cache.save(path));
+
+    resilience::FaultPlan plan;
+    ASSERT_TRUE(
+        resilience::FaultPlan::parse("spill-truncate=1", &plan));
+    cache.setFaultPlan(&plan);
+    const std::uint64_t failures_before =
+        RunCache::totalSpillSaveFailures();
+    RunResult second;
+    second.cycles = 888;
+    cache.insert("second-key", second);
+    EXPECT_FALSE(cache.save(path)); // Injected crash mid-write.
+    EXPECT_EQ(RunCache::totalSpillSaveFailures(),
+              failures_before + 1);
+
+    // The crash left its debris in the .tmp sibling...
+    std::ifstream tmp(path + ".tmp");
+    EXPECT_TRUE(tmp.good());
+    // ...and the previous spill still loads, fully intact.
+    RunCache survivor;
+    ASSERT_TRUE(survivor.load(path));
+    EXPECT_EQ(survivor.size(), 1u);
+    RunResult back;
+    ASSERT_TRUE(survivor.lookup("crash-key", &back));
+    EXPECT_EQ(back.cycles, 777u);
+    EXPECT_FALSE(survivor.lookup("second-key", nullptr));
+    std::remove((path + ".tmp").c_str());
     std::remove(path.c_str());
 }
 

@@ -34,6 +34,22 @@
  *                                  interval snapshots) as JSON
  *     --list-benchmarks            print the registry and exit
  *     --list-events                print the event catalogue, exit
+ *     --sweep NAMES                supervised solo sweep of the
+ *                                  comma-separated benchmarks, each
+ *                                  measured HT-off and HT-on
+ *     --resume MANIFEST            checkpoint the sweep to MANIFEST
+ *                                  and resume completed points from
+ *                                  it (created if missing)
+ *     --task-timeout SEC           per-task wall-clock deadline for
+ *                                  supervised runs (0 = none; also
+ *                                  JSMT_TASK_TIMEOUT)
+ *     --retries N                  attempts per supervised task
+ *                                  (also JSMT_TASK_RETRIES)
+ *
+ * Invalid usage (unknown flag, malformed value, unknown benchmark
+ * or event) exits with code 2 after printing the valid set.
+ * Malformed JSMT_* environment values warn and fall back to their
+ * defaults instead of silently misconfiguring the run.
  *
  * When JSMT_RUN_CACHE names a file, non-sampled runs are memoized
  * there: repeating an invocation replays the cached RunResult
@@ -44,6 +60,8 @@
  *   jsmt_run --benchmark PseudoJBB:4
  *   jsmt_run --benchmark jack --benchmark jess --events \
  *       trace_cache_miss,l1d_miss
+ *   jsmt_run --sweep jess,MolDyn --resume sweep.json \
+ *       --task-timeout 300
  */
 
 #include <cstdlib>
@@ -55,19 +73,26 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/log.h"
 #include "core/simulation.h"
 #include "exec/run_cache.h"
+#include "harness/solo.h"
 #include "harness/table.h"
 #include "jvm/benchmarks.h"
 #include "pmu/abyss.h"
 #include "pmu/sampler.h"
+#include "resilience/checkpoint.h"
+#include "resilience/supervisor.h"
 #include "trace/metrics.h"
 #include "trace/trace_sink.h"
 
 namespace {
 
 using namespace jsmt;
+
+/** Exit code for invalid usage (distinct from runtime failure 1). */
+constexpr int kUsageError = 2;
 
 struct Options
 {
@@ -84,22 +109,80 @@ struct Options
     bool fastForward = true;
     std::string traceFile;
     std::string metricsFile;
+    /** Benchmarks of a --sweep run (empty = single-run mode). */
+    std::vector<std::string> sweep;
+    /** Checkpoint manifest for --sweep (empty = no checkpoint). */
+    std::string resumePath;
+    /** Supervision policy (env defaults, flags override). */
+    resilience::SupervisorOptions supervision =
+        resilience::SupervisorOptions::fromEnvironment();
 };
+
+/** Flags accepted by jsmt_run (printed on invalid usage). */
+constexpr const char* kFlagSummary =
+    "usage: jsmt_run [--benchmark NAME[:THREADS]]... "
+    "[--ht on|off]\n"
+    "                [--dynamic-partition] [--scale S] "
+    "[--seed N]\n"
+    "                [--events a,b,c] "
+    "[--sample-interval N]\n"
+    "                [--no-fast-forward]\n"
+    "                [--trace FILE] [--metrics FILE]\n"
+    "                [--sweep NAMES] [--resume MANIFEST]\n"
+    "                [--task-timeout SEC] [--retries N]\n"
+    "                [--list-benchmarks] "
+    "[--list-events]\n";
 
 [[noreturn]] void
 usage(int code)
 {
-    std::cerr << "usage: jsmt_run [--benchmark NAME[:THREADS]]... "
-                 "[--ht on|off]\n"
-                 "                [--dynamic-partition] [--scale S] "
-                 "[--seed N]\n"
-                 "                [--events a,b,c] "
-                 "[--sample-interval N]\n"
-                 "                [--no-fast-forward]\n"
-                 "                [--trace FILE] [--metrics FILE]\n"
-                 "                [--list-benchmarks] "
-                 "[--list-events]\n";
+    std::cerr << kFlagSummary;
     std::exit(code);
+}
+
+[[noreturn]] void
+unknownBenchmark(const std::string& name)
+{
+    std::cerr << "unknown benchmark '" << name
+              << "'; valid benchmarks:";
+    for (const auto& valid : benchmarkNames())
+        std::cerr << ' ' << valid;
+    std::cerr << '\n';
+    std::exit(kUsageError);
+}
+
+[[noreturn]] void
+unknownEvent(const std::string& name)
+{
+    std::cerr << "unknown event '" << name << "'; valid events:";
+    for (std::size_t e = 0; e < kNumEventIds; ++e)
+        std::cerr << ' ' << eventName(static_cast<EventId>(e));
+    std::cerr << '\n';
+    std::exit(kUsageError);
+}
+
+std::uint64_t
+uintArg(const std::string& flag, const std::string& value)
+{
+    std::uint64_t out = 0;
+    if (!parseUint(value, &out)) {
+        std::cerr << "invalid value '" << value << "' for " << flag
+                  << " (expected an unsigned integer)\n";
+        std::exit(kUsageError);
+    }
+    return out;
+}
+
+double
+doubleArg(const std::string& flag, const std::string& value)
+{
+    double out = 0.0;
+    if (!parseDouble(value, &out)) {
+        std::cerr << "invalid value '" << value << "' for " << flag
+                  << " (expected a number)\n";
+        std::exit(kUsageError);
+    }
+    return out;
 }
 
 std::vector<std::string>
@@ -124,7 +207,7 @@ parseArgs(int argc, char** argv)
         const auto next = [&]() -> std::string {
             if (i + 1 >= argc) {
                 std::cerr << "missing value for " << arg << '\n';
-                usage(1);
+                usage(kUsageError);
             }
             return argv[++i];
         };
@@ -134,24 +217,50 @@ parseArgs(int argc, char** argv)
             const auto colon = value.find(':');
             spec.benchmark = value.substr(0, colon);
             if (colon != std::string::npos) {
-                spec.threads = static_cast<std::uint32_t>(
-                    std::atoi(value.c_str() + colon + 1));
+                spec.threads = static_cast<std::uint32_t>(uintArg(
+                    "--benchmark THREADS",
+                    value.substr(colon + 1)));
             }
             options.workloads.push_back(spec);
         } else if (arg == "--ht") {
-            options.hyperThreading = next() == "on";
+            const std::string value = next();
+            if (value != "on" && value != "off") {
+                std::cerr << "invalid value '" << value
+                          << "' for --ht (expected on|off)\n";
+                std::exit(kUsageError);
+            }
+            options.hyperThreading = value == "on";
         } else if (arg == "--dynamic-partition") {
             options.dynamicPartition = true;
         } else if (arg == "--scale") {
-            options.scale = std::atof(next().c_str());
+            options.scale = doubleArg(arg, next());
         } else if (arg == "--seed") {
-            options.seed = static_cast<std::uint64_t>(
-                std::atoll(next().c_str()));
+            options.seed = uintArg(arg, next());
         } else if (arg == "--events") {
             options.eventNames = splitCommas(next());
         } else if (arg == "--sample-interval") {
-            options.sampleInterval = static_cast<Cycle>(
-                std::atoll(next().c_str()));
+            options.sampleInterval =
+                static_cast<Cycle>(uintArg(arg, next()));
+        } else if (arg == "--sweep") {
+            options.sweep = splitCommas(next());
+            if (options.sweep.empty()) {
+                std::cerr << "--sweep needs at least one "
+                             "benchmark name\n";
+                std::exit(kUsageError);
+            }
+        } else if (arg == "--resume") {
+            options.resumePath = next();
+        } else if (arg == "--task-timeout") {
+            options.supervision.taskTimeoutSeconds =
+                doubleArg(arg, next());
+        } else if (arg == "--retries") {
+            const std::uint64_t attempts = uintArg(arg, next());
+            if (attempts == 0) {
+                std::cerr << "--retries must be at least 1\n";
+                std::exit(kUsageError);
+            }
+            options.supervision.maxAttempts =
+                static_cast<int>(attempts);
         } else if (arg == "--no-fast-forward") {
             options.fastForward = false;
         } else if (arg == "--trace") {
@@ -178,14 +287,13 @@ parseArgs(int argc, char** argv)
         } else if (arg == "--help" || arg == "-h") {
             usage(0);
         } else {
-            std::cerr << "unknown option " << arg << '\n';
-            usage(1);
+            std::cerr << "unknown option '" << arg
+                      << "'; valid flags:\n";
+            usage(kUsageError);
         }
     }
-    if (options.traceFile.empty()) {
-        if (const char* env = std::getenv("JSMT_TRACE"))
-            options.traceFile = env;
-    }
+    if (options.traceFile.empty())
+        options.traceFile = envString("JSMT_TRACE");
     if (options.workloads.empty()) {
         WorkloadSpec spec;
         spec.benchmark = "PseudoJBB";
@@ -193,9 +301,106 @@ parseArgs(int argc, char** argv)
     }
     if (options.scale <= 0.0) {
         std::cerr << "scale must be positive\n";
-        usage(1);
+        std::exit(kUsageError);
     }
     return options;
+}
+
+/**
+ * --sweep mode: measure each named benchmark HT-off and HT-on under
+ * a Supervisor, optionally checkpointed to --resume MANIFEST. The
+ * stdout table is a pure function of the completed measurements, so
+ * a killed-and-resumed sweep prints bit-identical output to an
+ * uninterrupted one.
+ */
+int
+runSweep(const Options& options,
+         const std::vector<EventId>& events)
+{
+    SystemConfig config;
+    config.seed = options.seed;
+    if (options.dynamicPartition)
+        config.core.partitionPolicy = PartitionPolicy::kDynamic;
+
+    resilience::Supervisor supervisor(options.supervision);
+    std::unique_ptr<resilience::SweepCheckpoint> checkpoint;
+    if (!options.resumePath.empty()) {
+        checkpoint = std::make_unique<resilience::SweepCheckpoint>(
+            options.resumePath);
+        if (checkpoint->resumed() > 0) {
+            std::cerr << "sweep: resumed "
+                      << checkpoint->resumed()
+                      << " completed measurement(s) from "
+                      << options.resumePath << '\n';
+        }
+    }
+
+    const std::size_t tasks = options.sweep.size() * 2;
+    std::vector<RunResult> results(tasks);
+    const auto name_of = [&](std::size_t k) {
+        return options.sweep[k / 2] +
+               ((k % 2) == 1 ? "/ht" : "/st");
+    };
+    const resilience::BatchReport report = supervisor.run(
+        tasks, name_of, [&](resilience::TaskContext& ctx) {
+            const std::string& benchmark =
+                options.sweep[ctx.index / 2];
+            const bool ht = (ctx.index % 2) == 1;
+            SoloOptions solo;
+            solo.lengthScale = options.scale;
+            const std::string key =
+                soloRunKey(config, benchmark, ht, solo);
+            if (checkpoint != nullptr &&
+                checkpoint->lookup(key, &results[ctx.index])) {
+                return;
+            }
+            solo.cancel = ctx.token;
+            results[ctx.index] =
+                measureSoloCached(config, benchmark, ht, solo);
+            if (checkpoint != nullptr)
+                checkpoint->record(key, results[ctx.index]);
+        });
+
+    std::vector<std::string> headers = {"benchmark", "ht", "cycles",
+                                        "IPC"};
+    for (const EventId event : events)
+        headers.push_back(std::string(eventName(event)));
+    TextTable table(headers);
+    for (std::size_t k = 0; k < tasks; ++k) {
+        const RunResult& result = results[k];
+        std::vector<std::string> row = {
+            options.sweep[k / 2], (k % 2) == 1 ? "on" : "off",
+            TextTable::fmt(result.cycles),
+            TextTable::fmt(result.ipc(), 3)};
+        for (const EventId event : events)
+            row.push_back(TextTable::fmt(result.total(event)));
+        table.addRow(row);
+    }
+    table.print(std::cout);
+
+    // Supervision/fault totals go to stderr so stdout stays a pure
+    // function of the measurements (bit-identical across resumes).
+    std::cerr << "sweep: " << report.summary() << "; "
+              << resilience::Supervisor::totalRetries()
+              << " retries, "
+              << resilience::Supervisor::totalDeadlineCancels()
+              << " deadline cancels and "
+              << resilience::FaultPlan::totalInjectedAll()
+              << " injected fault(s) process-wide\n";
+
+    if (!options.metricsFile.empty()) {
+        Machine machine(config);
+        trace::MetricsCollector collector(machine);
+        collector.collect(0);
+        std::ofstream out(options.metricsFile, std::ios::trunc);
+        if (!out) {
+            std::cerr << "cannot write metrics file '"
+                      << options.metricsFile << "'\n";
+            return 1;
+        }
+        collector.writeJson(out);
+    }
+    return report.ok() ? 0 : 1;
 }
 
 } // namespace
@@ -206,12 +411,28 @@ main(int argc, char** argv)
     setVerbose(false);
     Options options = parseArgs(argc, argv);
 
-    for (auto& spec : options.workloads) {
-        if (!isBenchmark(spec.benchmark)) {
-            std::cerr << "unknown benchmark '" << spec.benchmark
-                      << "' (see --list-benchmarks)\n";
-            return 1;
+    // Live counters through the Abyss session (as the paper did);
+    // fall back to raw totals when more events than counters were
+    // requested.
+    std::vector<EventId> events;
+    for (const auto& name : options.eventNames) {
+        const auto id = eventByName(name);
+        if (!id)
+            unknownEvent(name);
+        events.push_back(*id);
+    }
+
+    if (!options.sweep.empty()) {
+        for (const std::string& name : options.sweep) {
+            if (!isBenchmark(name))
+                unknownBenchmark(name);
         }
+        return runSweep(options, events);
+    }
+
+    for (auto& spec : options.workloads) {
+        if (!isBenchmark(spec.benchmark))
+            unknownBenchmark(spec.benchmark);
         spec.lengthScale = options.scale;
     }
 
@@ -222,20 +443,6 @@ main(int argc, char** argv)
         config.core.partitionPolicy = PartitionPolicy::kDynamic;
     }
     Machine machine(config);
-
-    // Live counters through the Abyss session (as the paper did);
-    // fall back to raw totals when more events than counters were
-    // requested.
-    std::vector<EventId> events;
-    for (const auto& name : options.eventNames) {
-        const auto id = eventByName(name);
-        if (!id) {
-            std::cerr << "unknown event '" << name
-                      << "' (see --list-events)\n";
-            return 1;
-        }
-        events.push_back(*id);
-    }
 
     const bool tracing = !options.traceFile.empty();
     const bool metrics = !options.metricsFile.empty();
