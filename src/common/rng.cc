@@ -17,12 +17,6 @@ splitMix64(std::uint64_t& x)
     return z ^ (z >> 31);
 }
 
-std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 } // namespace
 
 Rng::Rng(std::uint64_t seed)
@@ -38,63 +32,49 @@ Rng::Rng(std::uint64_t seed)
     }
 }
 
-std::uint64_t
-Rng::next()
+Rng::GeoDist&
+Rng::geoDistFor(double p)
 {
-    const std::uint64_t result = rotl(_state[1] * 5, 7) * 9;
-    const std::uint64_t t = _state[1] << 17;
-    _state[2] ^= _state[0];
-    _state[3] ^= _state[1];
-    _state[1] ^= _state[2];
-    _state[0] ^= _state[3];
-    _state[2] ^= t;
-    _state[3] = rotl(_state[3], 45);
-    return result;
+    for (std::uint32_t i = 0; i < kGeoDists; ++i) {
+        if (_geo[i].p == p) {
+            _geoMru = i;
+            return _geo[i];
+        }
+    }
+    _geoMru = _geoEvict;
+    GeoDist& dist = _geo[_geoEvict];
+    _geoEvict = (_geoEvict + 1) % kGeoDists;
+    dist.p = p;
+    dist.logDenom = std::log1p(-p);
+    // Interval for result k, shrunk by kMargin in quotient units on
+    // each side. The quotient's rounding error is bounded by a few
+    // ulps (|q| <= 48 here, so absolute error < 1e-13), and the
+    // expm1 below is itself faithful, so any u inside [lo, hi] is
+    // guaranteed to floor to k in the reference computation.
+    constexpr double kMargin = 1e-6;
+    dist.len = 0;
+    for (std::size_t k = 0; k < dist.lo.size(); ++k) {
+        const double q = static_cast<double>(k);
+        const double lo = -std::expm1((q + kMargin) * dist.logDenom);
+        const double hi =
+            -std::expm1((q + 1.0 - kMargin) * dist.logDenom);
+        if (!(lo < hi) || !(hi < 1.0))
+            break;
+        dist.lo[k] = lo;
+        dist.hi[k] = hi;
+        ++dist.len;
+    }
+    // The quotient is never negative (both logs are negative), so
+    // every u below hi[0] floors to 0.
+    if (dist.len > 0)
+        dist.lo[0] = 0.0;
+    return dist;
 }
 
 std::uint64_t
-Rng::below(std::uint64_t bound)
+Rng::geometricSlow(double u, const GeoDist& dist, std::uint64_t cap)
 {
-    if (bound == 0)
-        return 0;
-    // Simple modulo mapping; the tiny modulo bias is irrelevant for
-    // workload synthesis.
-    return next() % bound;
-}
-
-std::uint64_t
-Rng::between(std::uint64_t lo, std::uint64_t hi)
-{
-    if (hi <= lo)
-        return lo;
-    return lo + below(hi - lo + 1);
-}
-
-double
-Rng::uniform()
-{
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-bool
-Rng::chance(double p)
-{
-    if (p <= 0.0)
-        return false;
-    if (p >= 1.0)
-        return true;
-    return uniform() < p;
-}
-
-std::uint64_t
-Rng::geometric(double p, std::uint64_t cap)
-{
-    if (p >= 1.0)
-        return 0;
-    if (p <= 0.0)
-        return cap;
-    const double u = uniform();
-    const double v = std::log1p(-u) / std::log1p(-p);
+    const double v = std::log1p(-u) / dist.logDenom;
     const auto n = static_cast<std::uint64_t>(v);
     return n > cap ? cap : n;
 }

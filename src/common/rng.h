@@ -29,26 +29,90 @@ class Rng
     /** Construct from a 64-bit seed (expanded via SplitMix64). */
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
+    // The draw primitives are inline: workload synthesis makes tens
+    // of millions of draws per simulated second, so the call
+    // overhead of an out-of-line xoshiro step is measurable.
+
     /** @return next raw 64-bit value. */
-    std::uint64_t next();
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(_state[1] * 5, 7) * 9;
+        const std::uint64_t t = _state[1] << 17;
+        _state[2] ^= _state[0];
+        _state[3] ^= _state[1];
+        _state[1] ^= _state[2];
+        _state[0] ^= _state[3];
+        _state[2] ^= t;
+        _state[3] = rotl(_state[3], 45);
+        return result;
+    }
 
     /** @return uniform integer in [0, bound); bound 0 yields 0. */
-    std::uint64_t below(std::uint64_t bound);
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        if (bound == 0)
+            return 0;
+        // Simple modulo mapping; the tiny modulo bias is irrelevant
+        // for workload synthesis.
+        return next() % bound;
+    }
 
     /** @return uniform integer in [lo, hi] inclusive. */
-    std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
+    std::uint64_t
+    between(std::uint64_t lo, std::uint64_t hi)
+    {
+        if (hi <= lo)
+            return lo;
+        return lo + below(hi - lo + 1);
+    }
 
     /** @return uniform double in [0, 1). */
-    double uniform();
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /** @return true with probability p (clamped to [0,1]). */
-    bool chance(double p);
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return uniform() < p;
+    }
 
     /**
      * Geometric distribution: number of failures before first success
      * with success probability p, clamped to [0, cap].
+     *
+     * Inline hot path: one draw plus a short scan of the cached
+     * acceptance intervals for p (see GeoDist); the table build and
+     * the boundary-sliver reference computation stay out of line.
      */
-    std::uint64_t geometric(double p, std::uint64_t cap = 1u << 20);
+    std::uint64_t
+    geometric(double p, std::uint64_t cap = 1u << 20)
+    {
+        if (p >= 1.0)
+            return 0;
+        if (p <= 0.0)
+            return cap;
+        const GeoDist& dist =
+            _geo[_geoMru].p == p ? _geo[_geoMru] : geoDistFor(p);
+        const double u = uniform();
+        for (std::uint32_t k = 0; k < dist.len; ++k) {
+            if (u <= dist.hi[k]) {
+                if (u >= dist.lo[k])
+                    return k > cap ? cap : k;
+                break; // Boundary sliver: reference path.
+            }
+        }
+        return geometricSlow(u, dist, cap);
+    }
 
     /**
      * Fork a statistically independent child generator. Used to hand
@@ -57,7 +121,51 @@ class Rng
     Rng fork();
 
   private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    /**
+     * Cached acceptance intervals for one geometric(p).
+     *
+     * The reference draw is n = floor(log1p(-u) / log1p(-p)). For
+     * each small n this precomputes a slightly-shrunk u interval on
+     * which the floored quotient is provably n even under the
+     * rounding of log1p and the division (the shrink margin is ~1e-6
+     * in quotient units, ten orders of magnitude above the actual
+     * rounding error). Draws landing inside an interval skip the
+     * libm call; the ~1e-6 sliver near each boundary — and the tail
+     * past the table — falls back to the reference computation, so
+     * every draw is bit-identical to it.
+     */
+    struct GeoDist
+    {
+        double p = -1.0;
+        double logDenom = 0.0;
+        std::uint32_t len = 0;
+        std::array<double, 48> lo{};
+        std::array<double, 48> hi{};
+    };
+
+    /** @return interval table for @p p, building/evicting as needed. */
+    GeoDist& geoDistFor(double p);
+
+    /** Reference computation for draws outside the interval table. */
+    static std::uint64_t geometricSlow(double u, const GeoDist& dist,
+                                       std::uint64_t cap);
+
     std::array<std::uint64_t, 4> _state;
+
+    // Each Rng sees at most a handful of distinct p values (app,
+    // kernel and collector profiles), so a tiny table cache with
+    // round-robin eviction suffices; the MRU slot index keeps the
+    // common consecutive-same-p case to a single compare.
+    static constexpr std::uint32_t kGeoDists = 4;
+    std::array<GeoDist, kGeoDists> _geo{};
+    std::uint32_t _geoEvict = 0;
+    std::uint32_t _geoMru = 0;
 };
 
 } // namespace jsmt

@@ -60,7 +60,10 @@ Simulation::run(const RunOptions& options)
     trace::TraceSink* const sink = _machine.traceSink();
     const bool tracing = sink != nullptr && sink->enabled();
 
-    // Snapshot PMU raw counts to report deltas for this run.
+    // Snapshot PMU raw counts to report deltas for this run. Any
+    // accounting still batched in the core (e.g. from direct
+    // core().cycle() driving outside run()) must land first.
+    _machine.core().flushAccounting();
     std::array<std::array<std::uint64_t, kNumEventIds>, kNumContexts>
         baseline{};
     for (ContextId ctx = 0; ctx < kNumContexts; ++ctx) {
@@ -97,13 +100,27 @@ Simulation::run(const RunOptions& options)
         stop_requested = true;
     }
 
+    // Cycles below this bound provably perform no allocation and
+    // need no scheduler tick (see the probe below); they take the
+    // slim retire-only path. Tracing disables it: the slim path
+    // elides the per-cycle stall spans a traced run would emit.
+    Cycle retire_only_until = 0;
+
     while (!stop_requested && !allProcessesComplete() &&
            _cycle - start < options.maxCycles) {
-        _machine.scheduler().tick(_cycle);
-        const bool progressed = _machine.core().cycle(_cycle);
+        SmtCore::CycleOutcome outcome;
+        if (_cycle < retire_only_until) {
+            outcome = _machine.core().retireOnlyCycle(_cycle);
+        } else {
+            _machine.scheduler().tick(_cycle);
+            outcome = _machine.core().cycle(_cycle);
+        }
         ++_cycle;
 
         if (_cycle >= next_sample) {
+            // Land the batched cycle accounting so the sample
+            // callback reads exact counts.
+            _machine.core().flushAccounting();
             if (options.onSample)
                 options.onSample(*this, _cycle);
             if (tracing)
@@ -119,37 +136,54 @@ Simulation::run(const RunOptions& options)
             next_cancel += cancel_interval;
         }
 
-        // Detect completions among the (few) live processes.
-        just_completed.clear();
-        for (std::size_t i = 0; i < _live.size();) {
-            if (_live[i]->complete()) {
-                just_completed.push_back(_live[i]);
-                _live[i] = _live.back();
-                _live.pop_back();
-            } else {
-                ++i;
+        // Detect completions among the (few) live processes. A
+        // process can only flip to complete on a cycle that retired
+        // µops or on which a thread declined a fetch bundle
+        // (generation drained inside nextBundle), so all other
+        // cycles skip the scan entirely.
+        if (outcome.retired > 0 || outcome.threadEvent) {
+            just_completed.clear();
+            for (std::size_t i = 0; i < _live.size();) {
+                if (_live[i]->complete()) {
+                    just_completed.push_back(_live[i]);
+                    _live[i] = _live.back();
+                    _live.pop_back();
+                } else {
+                    ++i;
+                }
             }
-        }
-        for (JavaProcess* process : just_completed) {
-            if (tracing) {
-                sink->instantText(trace::Track::kSim, "process_exit",
-                                  _cycle, "benchmark",
-                                  process->profile().name);
-            }
-            if (options.onProcessExit &&
-                !options.onProcessExit(*this, *process)) {
-                stop_requested = true;
+            for (JavaProcess* process : just_completed) {
+                if (tracing) {
+                    sink->instantText(trace::Track::kSim,
+                                      "process_exit", _cycle,
+                                      "benchmark",
+                                      process->profile().name);
+                }
+                if (options.onProcessExit) {
+                    _machine.core().flushAccounting();
+                    if (!options.onProcessExit(*this, *process))
+                        stop_requested = true;
+                }
             }
         }
 
-        if (options.fastForward && !progressed && !stop_requested &&
+        // Probe for a provably-stalled window after every cycle
+        // (stallBound() is O(1), so the probe is far cheaper than
+        // simulating even one skippable cycle; probing only after
+        // no-progress cycles would pay one full wasted cycle to
+        // enter every stall window).
+        if (options.fastForward && !stop_requested &&
             !allProcessesComplete()) {
             // When every context is provably stalled until a known
             // future cycle, jump the clock there and bulk-account
             // the skipped cycles instead of simulating them.
+            const Cycle sched_bound =
+                _machine.scheduler().stallBound(_cycle);
+            const SmtCore::CoreBounds core_bounds =
+                _machine.core().bounds(_cycle);
             const Cycle bound =
-                std::min(_machine.core().stallBound(_cycle),
-                         _machine.scheduler().stallBound(_cycle));
+                std::min(core_bounds.stall, sched_bound);
+            Cycle alloc_bound = core_bounds.alloc;
             if (bound > _cycle) {
                 // Stop one cycle short of the next sample point so
                 // onSample fires on the exact same clock edge as the
@@ -163,13 +197,27 @@ Simulation::run(const RunOptions& options)
                     _machine.core().fastForwardAccount(_cycle,
                                                        target);
                     _cycle = target;
+                    // The clock moved: slot parity and fetch gates
+                    // are relative to the new cycle.
+                    alloc_bound =
+                        _machine.core().allocBound(_cycle);
                 }
             }
+            // Windows that retire but provably cannot allocate take
+            // the slim path. Re-derived after every cycle, so any
+            // state change a retirement causes (a woken thread, a
+            // freed window slot) invalidates the bound before the
+            // next iteration uses it.
+            retire_only_until =
+                tracing ? 0 : std::min(alloc_bound, sched_bound);
         }
     }
 
     if (tracing)
         sink->complete(trace::Track::kSim, "run", start, _cycle);
+
+    // Land the batched cycle accounting before the final reads.
+    _machine.core().flushAccounting();
 
     result.cycles = _cycle - start;
     result.allComplete = allProcessesComplete();

@@ -92,8 +92,12 @@ JavaThread::JavaThread(ThreadId id, JavaProcess& process,
                                _rng.below(
                                    profile.syscallIntervalUops)
                          : unlimited;
-    if (kind == ThreadKind::kCollector)
+    if (kind == ThreadKind::kCollector) {
+        // Collectors attribute every retired user-mode µop to the
+        // GC (kGcUops), so they always take the retire hook.
+        _retireHook = true;
         block(BlockReason::kDormant);
+    }
 }
 
 void
@@ -159,6 +163,17 @@ JavaThread::fillBundle(FetchBundle& bundle, CodeWalker& walker,
     walker.nextLine();
     const bool ends_in_jump = walker.lastStepWasJump();
 
+    // Per-bundle invariants, hoisted out of the µop loop (this loop
+    // is the hottest workload-synthesis path in the simulator). The
+    // threshold sums keep the reference left-to-right association so
+    // the comparisons are bit-identical to the per-µop forms.
+    const double dep_p = 1.0 / profile.meanDepDist;
+    const double load_hi = profile.loadFrac;
+    const double store_hi = load_hi + profile.storeFrac;
+    const double fp_hi = store_hi + profile.fpFrac;
+    const double branch_hi = fp_hi + profile.branchFrac;
+    const auto mispredict = static_cast<float>(profile.mispredictRate);
+
     const auto line_uops =
         static_cast<std::uint8_t>(kUopsPerTraceLine);
     for (std::uint8_t i = 0; i < line_uops; ++i) {
@@ -167,41 +182,36 @@ JavaThread::fillBundle(FetchBundle& bundle, CodeWalker& walker,
         uop.kernelMode = kernel_mode;
         uop.pc = bundle.traceAddr + static_cast<Addr>(i) * 4;
         uop.depDist = static_cast<std::uint8_t>(std::min<std::uint64_t>(
-            1 + _rng.geometric(1.0 / profile.meanDepDist, kMaxDepDist),
-            kMaxDepDist));
+            1 + _rng.geometric(dep_p, kMaxDepDist), kMaxDepDist));
 
         const bool is_last = (i + 1 == line_uops);
         const double r = _rng.uniform();
         if (is_last && ends_in_jump) {
             uop.type = UopType::kBranch;
-            uop.mispredictProb =
-                static_cast<float>(profile.mispredictRate);
-        } else if (r < profile.loadFrac) {
+            uop.mispredictProb = mispredict;
+        } else if (r < load_hi) {
             uop.type = UopType::kLoad;
             uop.dataVaddr = memory_heavy ? gcScanAddr()
                             : kernel_mode
                                 ? _kernelDataModel.nextAddr()
                                 : _data.nextAddr();
-        } else if (r < profile.loadFrac + profile.storeFrac) {
+        } else if (r < store_hi) {
             uop.type = UopType::kStore;
             uop.dataVaddr = memory_heavy ? gcScanAddr()
                             : kernel_mode
                                 ? _kernelDataModel.nextAddr()
                                 : _data.nextAddr();
-        } else if (r < profile.loadFrac + profile.storeFrac +
-                           profile.fpFrac) {
+        } else if (r < fp_hi) {
             uop.type = UopType::kFp;
             uop.execLatency = 5;
-        } else if (r < profile.loadFrac + profile.storeFrac +
-                           profile.fpFrac + profile.branchFrac) {
+        } else if (r < branch_hi) {
             uop.type = UopType::kBranch;
-            uop.mispredictProb =
-                static_cast<float>(profile.mispredictRate);
+            uop.mispredictProb = mispredict;
         } else {
             uop.type = UopType::kAlu;
         }
-        ++bundle.count;
     }
+    bundle.count = line_uops;
     noteGenerated(bundle.count);
 }
 
@@ -317,6 +327,9 @@ JavaThread::finishGeneration(Cycle now)
     if (!_drainedNotified && retiredUops() >= generatedUops()) {
         _drainedNotified = true;
         _process.noteThreadDrained(*this, now);
+    } else if (!_drainedNotified) {
+        // In-flight µops remain: watch retirements until drained.
+        _retireHook = true;
     }
 }
 
@@ -335,15 +348,18 @@ JavaThread::nextBundle(Cycle now, FetchBundle& bundle)
 }
 
 void
-JavaThread::onRetire(const Uop& uop, Cycle now)
+JavaThread::onRetireHook(const Uop& uop, Cycle now)
 {
-    SoftwareThread::onRetire(uop, now);
     if (_kind == ThreadKind::kCollector && !uop.kernelMode)
         _process.pmu().record(EventId::kGcUops, 0);
     if (_generationDone && !_drainedNotified &&
         retiredUops() >= generatedUops()) {
         _drainedNotified = true;
         _process.noteThreadDrained(*this, now);
+        // App threads have nothing further to observe once drained;
+        // collectors keep the hook for GC µop attribution.
+        if (_kind != ThreadKind::kCollector)
+            _retireHook = false;
     }
 }
 

@@ -60,7 +60,7 @@ class JavaThread : public SoftwareThread
                Rng rng);
 
     bool nextBundle(Cycle now, FetchBundle& bundle) override;
-    void onRetire(const Uop& uop, Cycle now) override;
+    void onRetireHook(const Uop& uop, Cycle now) override;
 
     /** @return role of this thread. */
     ThreadKind kind() const { return _kind; }

@@ -64,6 +64,14 @@ Cache::tagOf(Addr addr) const
 bool
 Cache::access(Asid asid, Addr addr, ContextId ctx)
 {
+    Line* line = nullptr;
+    return accessLine(asid, addr, ctx, &line);
+}
+
+bool
+Cache::accessLine(Asid asid, Addr addr, ContextId ctx,
+                  Line** line_out)
+{
     ++_accesses;
     ++_useClock;
     const std::uint32_t set = setIndex(addr, ctx);
@@ -75,6 +83,7 @@ Cache::access(Asid asid, Addr addr, ContextId ctx)
         Line& line = base[w];
         if (line.valid && line.asid == asid && line.tag == tag) {
             line.lastUse = _useClock;
+            *line_out = &line;
             return true;
         }
         if (!line.valid) {
@@ -95,6 +104,7 @@ Cache::access(Asid asid, Addr addr, ContextId ctx)
     victim->asid = asid;
     victim->tag = tag;
     victim->lastUse = _useClock;
+    *line_out = victim;
     return false;
 }
 

@@ -48,6 +48,31 @@ struct CacheConfig
 class Cache
 {
   public:
+    /** One cache line's bookkeeping (public for AccessMemo). */
+    struct Line
+    {
+        bool valid = false;
+        Asid asid = 0;
+        Addr tag = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    /**
+     * Caller-held single-line memo for accessFast(): remembers the
+     * line the last access through this memo touched. The memo is
+     * self-revalidating — the fast path re-checks the line's own
+     * (valid, asid, tag) before trusting it, so flushes and
+     * evictions need no explicit invalidation (line storage is
+     * allocated once and never moves).
+     */
+    struct AccessMemo
+    {
+        Line* line = nullptr;
+        Asid asid = 0;
+        Addr tag = 0;
+        ContextId ctx = 0;
+    };
+
     explicit Cache(const CacheConfig& config);
 
     /**
@@ -60,6 +85,36 @@ class Cache
      * @return true on hit.
      */
     bool access(Asid asid, Addr addr, ContextId ctx);
+
+    /**
+     * access() with a memoized fast path: a repeat access to the
+     * line @p memo remembers skips the set walk and only bumps the
+     * LRU stamp. Statistics and replacement state evolve exactly as
+     * under access() — a memo hit is an access() hit on the same
+     * line. The tag embeds the set bits and the context is matched,
+     * so a validated memo implies the plain path would have probed
+     * the same set and hit the same line.
+     */
+    bool
+    accessFast(Asid asid, Addr addr, ContextId ctx,
+               AccessMemo* memo)
+    {
+        const Addr tag = addr >> _lineShift;
+        Line* const line = memo->line;
+        if (line != nullptr && memo->tag == tag &&
+            memo->asid == asid && memo->ctx == ctx &&
+            line->valid && line->asid == asid &&
+            line->tag == tag) {
+            ++_accesses;
+            ++_useClock;
+            line->lastUse = _useClock;
+            return true;
+        }
+        memo->asid = asid;
+        memo->tag = tag;
+        memo->ctx = ctx;
+        return accessLine(asid, addr, ctx, &memo->line);
+    }
 
     /** Probe without filling. @return true on hit. */
     bool lookup(Asid asid, Addr addr, ContextId ctx) const;
@@ -84,6 +139,9 @@ class Cache
 
     /** @return line size in bytes. */
     std::uint32_t lineBytes() const { return _config.lineBytes; }
+
+    /** @return log2(lineBytes) (memo slot hashing). */
+    std::uint32_t lineShift() const { return _lineShift; }
 
     /** @return total accesses since construction/flush-stats. */
     std::uint64_t accesses() const { return _accesses; }
@@ -116,14 +174,9 @@ class Cache
     const CacheConfig& config() const { return _config; }
 
   private:
-    /** One cache line's bookkeeping. */
-    struct Line
-    {
-        bool valid = false;
-        Asid asid = 0;
-        Addr tag = 0;
-        std::uint64_t lastUse = 0;
-    };
+    /** access() body; reports the line that was hit or filled. */
+    bool accessLine(Asid asid, Addr addr, ContextId ctx,
+                    Line** line_out);
 
     std::uint32_t setIndex(Addr addr, ContextId ctx) const;
     Addr tagOf(Addr addr) const;

@@ -1,6 +1,7 @@
 #include "mem/memory_system.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/log.h"
 
@@ -93,6 +94,14 @@ MemorySystem::MemorySystem(const MemConfig& config, Pmu& pmu)
 {
     if (config.uopsPerTraceLine == 0)
         fatal("memory system: uopsPerTraceLine must be positive");
+    // Translation has always assumed power-of-two pages (the offset
+    // mask); make that explicit and precompute the shift so the hot
+    // translate path needs no division.
+    if (config.pageBytes == 0 ||
+        (config.pageBytes & (config.pageBytes - 1)) != 0)
+        fatal("memory system: pageBytes must be a power of two");
+    _pageShift = static_cast<std::uint32_t>(std::countr_zero(
+        static_cast<std::uint64_t>(config.pageBytes)));
 }
 
 void
@@ -112,14 +121,19 @@ MemorySystem::setHyperThreading(bool enabled)
 Addr
 MemorySystem::translate(Asid asid, Addr vaddr) const
 {
-    const Addr page_mask = _config.pageBytes - 1;
-    const Addr vpn = vaddr / _config.pageBytes;
-    // 1 GB of simulated physical memory, as on the paper's machine.
-    const Addr phys_pages = (1ULL << 30) / _config.pageBytes;
-    const Addr ppn =
-        mix64((static_cast<std::uint64_t>(asid) << 40) ^ vpn) &
-        (phys_pages - 1);
-    return ppn * _config.pageBytes + (vaddr & page_mask);
+    const Addr vpn = vaddr >> _pageShift;
+    if (asid != _trMemoAsid || vpn != _trMemoVpn) {
+        // 1 GB of simulated physical memory, as on the paper's
+        // machine.
+        const Addr phys_pages = (1ULL << 30) >> _pageShift;
+        const Addr ppn =
+            mix64((static_cast<std::uint64_t>(asid) << 40) ^ vpn) &
+            (phys_pages - 1);
+        _trMemoAsid = asid;
+        _trMemoVpn = vpn;
+        _trMemoPageBase = ppn << _pageShift;
+    }
+    return _trMemoPageBase + (vaddr & (_config.pageBytes - 1));
 }
 
 std::uint32_t
@@ -149,7 +163,7 @@ MemorySystem::pageWalk(Asid asid, Addr vaddr, ContextId ctx,
     // tables live in memory. Each simulated page has an 8-byte PTE
     // in a per-asid table region, so workloads with wide page
     // footprints also push their page tables out of the L2.
-    const Addr vpn = vaddr / _config.pageBytes;
+    const Addr vpn = vaddr >> _pageShift;
     const Addr pte_vaddr =
         0x3'0000'0000ULL +
         (static_cast<Addr>(asid) << 28) + vpn * 8;
@@ -196,7 +210,8 @@ MemorySystem::fetchLine(Asid asid, Addr vaddr, Addr trace_addr,
     // the mechanism behind the paper's Figure 3.
     const Asid tc_asid =
         asid * 2 + (_hyperThreading ? (ctx % kNumContexts) : 0);
-    if (_traceCache.access(tc_asid, trace_addr, ctx) &&
+    if (_traceCache.accessFast(tc_asid, trace_addr, ctx,
+                               &_tcMemo[ctx]) &&
         !force_rebuild) {
         result.latency = 0;
         return result;
@@ -233,14 +248,19 @@ MemorySystem::dataAccess(Asid asid, Addr vaddr, ContextId ctx,
     std::uint32_t latency = 0;
 
     _pmu.record(EventId::kDtlbAccess, ctx);
-    if (!_dtlb.access(asid, vaddr, ctx)) {
+    Cache::AccessMemo& dtlb_memo =
+        _dtlbMemo[ctx][(vaddr >> _pageShift) & (kMemoSlots - 1)];
+    if (!_dtlb.accessFast(asid, vaddr, ctx, &dtlb_memo)) {
         _pmu.record(EventId::kDtlbMiss, ctx);
         latency += pageWalk(asid, vaddr, ctx, now);
     }
 
     const Addr paddr = translate(asid, vaddr);
     _pmu.record(EventId::kL1dAccess, ctx);
-    if (_l1d.access(asid, paddr, ctx)) {
+    Cache::AccessMemo& l1d_memo =
+        _l1dMemo[ctx][(paddr >> _l1d.lineShift()) &
+                      (kMemoSlots - 1)];
+    if (_l1d.accessFast(asid, paddr, ctx, &l1d_memo)) {
         result.latency = latency + _config.l1dHitCycles;
         return result;
     }
@@ -265,6 +285,14 @@ MemorySystem::flushAll()
     _dtlb.flush();
     _fsbNextFree = 0;
     _l2NextFree = 0;
+    // The access memos would self-revalidate against the flushed
+    // lines anyway; clearing them keeps no dangling bookkeeping.
+    _tcMemo.fill(Cache::AccessMemo{});
+    for (AccessMemoTable& table : _l1dMemo)
+        table.fill(Cache::AccessMemo{});
+    for (AccessMemoTable& table : _dtlbMemo)
+        table.fill(Cache::AccessMemo{});
+    _trMemoVpn = ~Addr{0};
 }
 
 } // namespace jsmt

@@ -8,11 +8,10 @@ SoftwareThread::SoftwareThread(ThreadId id, Asid asid)
 }
 
 void
-SoftwareThread::onRetire(const Uop& uop, Cycle now)
+SoftwareThread::onRetireHook(const Uop& uop, Cycle now)
 {
     (void)uop;
     (void)now;
-    ++_retiredUops;
 }
 
 } // namespace jsmt

@@ -79,9 +79,19 @@ class SoftwareThread
 
     /**
      * Notification that one of this thread's µops retired. Used for
-     * completion accounting.
+     * completion accounting. Non-virtual on purpose: retirement is
+     * the hottest per-µop callback in the simulator, and for most
+     * threads it is a single counter increment. Subclasses needing
+     * per-µop work (GC attribution, drain detection) raise
+     * _retireHook to route retirements through onRetireHook().
      */
-    virtual void onRetire(const Uop& uop, Cycle now);
+    void
+    onRetire(const Uop& uop, Cycle now)
+    {
+        ++_retiredUops;
+        if (_retireHook)
+            onRetireHook(uop, now);
+    }
 
     /** @return OS-visible thread id. */
     ThreadId id() const { return _id; }
@@ -151,6 +161,12 @@ class SoftwareThread
     std::uint64_t generatedUops() const { return _generatedUops; }
 
   protected:
+    /** Per-µop retire work for subclasses with _retireHook set. */
+    virtual void onRetireHook(const Uop& uop, Cycle now);
+
+    /** Routes onRetire() through onRetireHook() while set. */
+    bool _retireHook = false;
+
     /** Subclasses consume pending kernel work through this. */
     std::uint64_t
     takeKernelWork(std::uint64_t max_uops)

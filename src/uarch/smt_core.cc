@@ -46,6 +46,11 @@ SmtCore::SmtCore(const CoreConfig& config, MemorySystem& mem,
     }
     if (config.robEntries < 2 * kNumContexts)
         fatal("core: ROB too small to partition");
+    // Ring storage is sized for the whole machine window once, here:
+    // under the dynamic partition policy a lone context may occupy
+    // every ROB entry, and reset() never reallocates.
+    for (ContextState& cs : _ctx)
+        cs.rob.init(config.robEntries);
     setHyperThreading(true);
 }
 
@@ -53,6 +58,14 @@ void
 SmtCore::setHyperThreading(bool enabled)
 {
     _hyperThreading = enabled;
+    _dynamicShared =
+        enabled &&
+        _config.partitionPolicy == PartitionPolicy::kDynamic;
+    for (ContextId ctx = 0; ctx < kNumContexts; ++ctx) {
+        _robCapCache[ctx] = robCap(ctx);
+        _ldqCapCache[ctx] = ldqCap(ctx);
+        _stqCapCache[ctx] = stqCap(ctx);
+    }
     _scheduler.setNumContexts(enabled ? kNumContexts : 1);
     _mem.setHyperThreading(enabled);
     _branch.setHyperThreading(enabled);
@@ -86,41 +99,38 @@ SmtCore::stqCap(ContextId ctx) const
 std::uint32_t
 SmtCore::robOccupancy(ContextId ctx) const
 {
-    return static_cast<std::uint32_t>(_ctx[ctx].rob.size());
+    return _ctx[ctx].rob.size();
 }
 
 bool
 SmtCore::robFull(ContextId ctx) const
 {
-    if (_hyperThreading &&
-        _config.partitionPolicy == PartitionPolicy::kDynamic) {
+    if (_dynamicShared) {
         // Shared pool: the lone constraint is total occupancy.
         return _ctx[0].rob.size() + _ctx[1].rob.size() >=
                _config.robEntries;
     }
-    return _ctx[ctx].rob.size() >= robCap(ctx);
+    return _ctx[ctx].rob.size() >= _robCapCache[ctx];
 }
 
 bool
 SmtCore::ldqFull(ContextId ctx) const
 {
-    if (_hyperThreading &&
-        _config.partitionPolicy == PartitionPolicy::kDynamic) {
+    if (_dynamicShared) {
         return _ctx[0].ldqOcc + _ctx[1].ldqOcc >=
                _config.loadBufEntries;
     }
-    return _ctx[ctx].ldqOcc >= ldqCap(ctx);
+    return _ctx[ctx].ldqOcc >= _ldqCapCache[ctx];
 }
 
 bool
 SmtCore::stqFull(ContextId ctx) const
 {
-    if (_hyperThreading &&
-        _config.partitionPolicy == PartitionPolicy::kDynamic) {
+    if (_dynamicShared) {
         return _ctx[0].stqOcc + _ctx[1].stqOcc >=
                _config.storeBufEntries;
     }
-    return _ctx[ctx].stqOcc >= stqCap(ctx);
+    return _ctx[ctx].stqOcc >= _stqCapCache[ctx];
 }
 
 bool
@@ -136,8 +146,20 @@ SmtCore::drained() const
 void
 SmtCore::reset()
 {
-    for (ContextState& cs : _ctx)
-        cs = ContextState{};
+    // Pending accounting cycles predate the reset but were really
+    // simulated; land them before the signature is wiped.
+    flushAccounting();
+    _acctSig = AccountingSignature{};
+    for (ContextState& cs : _ctx) {
+        // In place: the ring's storage survives across runs.
+        cs.rob.clear();
+        cs.ldqOcc = 0;
+        cs.stqOcc = 0;
+        cs.resumeAt = 0;
+        cs.lastThread = nullptr;
+        cs.kernelMode = false;
+        cs.headCompletion = kNoCycle;
+    }
     _issueCount.fill(0);
     _issueStamp.fill(0);
 }
@@ -178,23 +200,29 @@ SmtCore::retireStage(Cycle now)
         ContextState& cs = _ctx[ctx];
         std::uint32_t uops = 0;
         std::uint32_t branches = 0;
+        Uop retired_uop;
         while (budget > 0 && !cs.rob.empty() &&
                cs.rob.front().completion <= now) {
-            RobEntry entry = std::move(cs.rob.front());
-            cs.rob.pop_front();
+            RobEntry& entry = cs.rob.front();
             if (entry.type == UopType::kLoad)
                 --cs.ldqOcc;
             else if (entry.type == UopType::kStore)
                 --cs.stqOcc;
             else if (entry.type == UopType::kBranch)
                 ++branches;
-            entry.thread->onRetire(entry.uop, now);
+            retired_uop.type = entry.type;
+            retired_uop.kernelMode = entry.kernelMode;
+            entry.thread->onRetire(retired_uop, now);
+            cs.rob.pop_front();
             --budget;
             ++uops;
         }
         // Per-cycle batched counter updates (hot path: one PMU
         // access per event line instead of one per retired µop).
         if (uops > 0) {
+            cs.headCompletion = cs.rob.empty()
+                                    ? kNoCycle
+                                    : cs.rob.front().completion;
             _pmu.recordBulk(EventId::kUopsRetired, ctx, uops);
             _pmu.recordBulk(EventId::kInstrRetired, ctx, uops);
             _pmu.recordBulk(EventId::kBranchRetired, ctx, branches);
@@ -260,7 +288,9 @@ SmtCore::allocFromContext(ContextId ctx, Cycle now,
             }
             if (!thread->nextBundle(now, fe.bundle)) {
                 // Thread blocked or finished; the scheduler reacts
-                // on its next tick.
+                // on its next tick. Completion may have flipped —
+                // cue the driver's scan.
+                _threadEvent = true;
                 return used;
             }
             fe.pos = 0;
@@ -269,9 +299,14 @@ SmtCore::allocFromContext(ContextId ctx, Cycle now,
             const bool stale_trace =
                 fe.bundle.rebuildProb > 0.0f &&
                 _rng.chance(fe.bundle.rebuildProb);
-            const FetchLineResult fetch = _mem.fetchLine(
-                fe.bundle.asid, fe.bundle.lineVaddr,
-                fe.bundle.traceAddr, ctx, now, stale_trace);
+            FetchLineResult fetch;
+            {
+                ScopedStageTimer timer(
+                    _profiler, &StageProfiler::memorySeconds);
+                fetch = _mem.fetchLine(
+                    fe.bundle.asid, fe.bundle.lineVaddr,
+                    fe.bundle.traceAddr, ctx, now, stale_trace);
+            }
             if (fetch.latency > 0) {
                 // Trace-cache miss: µops deliverable after rebuild.
                 fe.bundleReadyAt = now + fetch.latency;
@@ -321,9 +356,14 @@ SmtCore::allocFromContext(ContextId ctx, Cycle now,
 
             switch (uop.type) {
               case UopType::kLoad: {
-                const DataAccessResult access = _mem.dataAccess(
-                    fe.bundle.asid, uop.dataVaddr, ctx, false,
-                    ready);
+                DataAccessResult access;
+                {
+                    ScopedStageTimer timer(
+                        _profiler, &StageProfiler::memorySeconds);
+                    access = _mem.dataAccess(fe.bundle.asid,
+                                             uop.dataVaddr, ctx,
+                                             false, ready);
+                }
                 latency = access.latency;
                 if (!access.l1Hit) {
                     _pmu.record(EventId::kMemStallCycles, ctx,
@@ -331,12 +371,15 @@ SmtCore::allocFromContext(ContextId ctx, Cycle now,
                 }
                 break;
               }
-              case UopType::kStore:
+              case UopType::kStore: {
                 // Buffered: affects caches, not the critical path.
+                ScopedStageTimer timer(
+                    _profiler, &StageProfiler::memorySeconds);
                 _mem.dataAccess(fe.bundle.asid, uop.dataVaddr, ctx,
                                 true, ready);
                 latency = 1;
                 break;
+              }
               case UopType::kBranch: {
                 const bool line_end =
                     fe.pos + 1 == fe.bundle.count;
@@ -356,13 +399,13 @@ SmtCore::allocFromContext(ContextId ctx, Cycle now,
             const Cycle completion = issue + latency;
             thread->recordCompletion(seq, completion);
 
-            RobEntry entry;
+            RobEntry& entry = cs.rob.push_back();
             entry.completion = completion;
             entry.thread = thread;
             entry.type = uop.type;
             entry.kernelMode = uop.kernelMode;
-            entry.uop = uop;
-            cs.rob.push_back(entry);
+            if (cs.rob.size() == 1)
+                cs.headCompletion = completion;
             if (uop.type == UopType::kLoad)
                 ++cs.ldqOcc;
             else if (uop.type == UopType::kStore)
@@ -412,79 +455,198 @@ SmtCore::fetchAllocStage(Cycle now)
 }
 
 void
-SmtCore::accountCycle(Cycle now)
+SmtCore::accountWindow(std::uint64_t cycles)
 {
-    (void)now;
-    _pmu.record(EventId::kCycles, 0);
+    AccountingSignature sig;
+    sig.contexts = activeContexts();
+    for (ContextId ctx = 0; ctx < sig.contexts; ++ctx) {
+        const SoftwareThread* thread = _scheduler.active(ctx);
+        sig.thread[ctx] = thread;
+        // Normalized to false when idle so mode flips on an empty
+        // context never force a flush.
+        sig.kernel[ctx] =
+            thread != nullptr && _ctx[ctx].kernelMode;
+    }
+    if (!(sig == _acctSig)) {
+        flushAccounting();
+        _acctSig = sig;
+    }
+    _acctPending += cycles;
+}
+
+void
+SmtCore::flushAccounting()
+{
+    if (_acctPending == 0)
+        return;
+    const std::uint64_t n = _acctPending;
+    _acctPending = 0;
+    // Replays exactly what n identical per-cycle accountings would
+    // have recorded, from the stored signature (the live scheduler
+    // state may already have moved on).
+    _pmu.recordBulk(EventId::kCycles, 0, n);
     std::uint32_t active = 0;
-    for (ContextId ctx = 0; ctx < activeContexts(); ++ctx) {
-        SoftwareThread* thread = _scheduler.active(ctx);
-        if (!thread) {
-            _pmu.record(EventId::kIdleCycles, ctx);
+    for (ContextId ctx = 0; ctx < _acctSig.contexts; ++ctx) {
+        if (_acctSig.thread[ctx] == nullptr) {
+            _pmu.recordBulk(EventId::kIdleCycles, ctx, n);
             continue;
         }
         ++active;
-        if (_ctx[ctx].kernelMode)
-            _pmu.record(EventId::kOsCycles, ctx);
-        else
-            _pmu.record(EventId::kUserCycles, ctx);
+        _pmu.recordBulk(_acctSig.kernel[ctx] ? EventId::kOsCycles
+                                             : EventId::kUserCycles,
+                        ctx, n);
     }
     if (active == 2)
-        _pmu.record(EventId::kDualThreadCycles, 0);
+        _pmu.recordBulk(EventId::kDualThreadCycles, 0, n);
     else if (active == 1)
-        _pmu.record(EventId::kSingleThreadCycles, 0);
+        _pmu.recordBulk(EventId::kSingleThreadCycles, 0, n);
 }
 
-bool
+SmtCore::CycleOutcome
 SmtCore::cycle(Cycle now)
 {
-    const std::uint32_t retired = retireStage(now);
-    const std::uint32_t allocated = fetchAllocStage(now);
-    accountCycle(now);
-    return retired + allocated > 0;
+    CycleOutcome outcome;
+    _threadEvent = false;
+    {
+        ScopedStageTimer timer(_profiler,
+                               &StageProfiler::retireSeconds);
+        outcome.retired = retireStage(now);
+    }
+    {
+        ScopedStageTimer timer(_profiler,
+                               &StageProfiler::fetchAllocSeconds);
+        outcome.allocated = fetchAllocStage(now);
+    }
+    {
+        ScopedStageTimer timer(_profiler,
+                               &StageProfiler::accountSeconds);
+        accountWindow(1);
+    }
+    if (_profiler != nullptr)
+        ++_profiler->cycles;
+    outcome.threadEvent = _threadEvent;
+    return outcome;
 }
 
 Cycle
 SmtCore::stallBound(Cycle now) const
 {
-    Cycle bound = kNoCycle;
+    return bounds(now).stall;
+}
+
+Cycle
+SmtCore::allocBound(Cycle now) const
+{
+    return bounds(now).alloc;
+}
+
+SmtCore::CoreBounds
+SmtCore::bounds(Cycle now) const
+{
+    CoreBounds b;
     const std::uint32_t contexts = activeContexts();
+    // With both contexts occupied, the P4-style alternation gives a
+    // context the allocation slot only on cycles of its parity (a
+    // stalled context wastes its slot; see fetchAllocStage). A
+    // context that could allocate but does not own the current
+    // cycle's slot therefore bounds the window at its next slot
+    // instead of cutting it to zero. The active-thread set cannot
+    // change inside the window (the scheduler bound caps it), so
+    // the parity rule holds throughout.
+    const bool alternating =
+        contexts > 1 && _scheduler.active(0) != nullptr &&
+        _scheduler.active(1) != nullptr;
     for (ContextId ctx = 0; ctx < contexts; ++ctx) {
         const ContextState& cs = _ctx[ctx];
-        if (!cs.rob.empty()) {
-            const Cycle head = cs.rob.front().completion;
-            if (head <= now)
-                return now; // A retirement is due.
-            bound = std::min(bound, head);
-        }
+        // Incrementally maintained ROB-head completion (kNoCycle
+        // when the ROB is empty) — no ring access here. Retirements
+        // cut the stall bound only; the alloc bound ignores them
+        // unless allocation is resource-blocked (below).
+        const Cycle head = cs.headCompletion;
+        if (head != kNoCycle)
+            b.stall = std::min(b.stall, head > now ? head : now);
         const SoftwareThread* thread = _scheduler.active(ctx);
         if (!thread)
             continue;
-        if (thread != cs.lastThread)
-            return now; // Context-switch flush not yet taken.
+        if (thread != cs.lastThread) {
+            // Context-switch flush not yet taken: both bounds cut.
+            b.stall = now;
+            b.alloc = now;
+            return b;
+        }
         const ThreadFrontEnd& fe =
             const_cast<SoftwareThread*>(thread)->frontEnd();
         const Cycle gate = std::max(
             cs.resumeAt,
             fe.valid ? fe.bundleReadyAt : fe.nextFetchAt);
-        if (gate > now) {
-            bound = std::min(bound, gate);
+        // Earliest cycle this context both has work and owns the
+        // allocation slot.
+        Cycle at = gate > now ? gate : now;
+        if (alternating && (at & 1) != ctx)
+            ++at;
+        if (gate > now || !fe.valid) {
+            // Fetch-gated, or a new trace line could be fetched at
+            // the next owned slot.
+            b.stall = std::min(b.stall, at);
+            b.alloc = std::min(b.alloc, at);
             continue;
         }
-        if (!fe.valid)
-            return now; // A new trace line could be fetched now.
-        // Line ready but the window may have no room; the retirement
-        // that frees a slot is already covered by a ROB-head bound
-        // (a full queue implies a non-empty ROB).
+        // Line ready but the window may have no room. For the stall
+        // bound the retirement that frees a slot is already covered
+        // by a ROB-head bound (a full queue implies a non-empty
+        // ROB). For the alloc bound the earliest possibly-unblocking
+        // event is the first retirement — the ROB head (either
+        // context's under the shared dynamic partition). The head
+        // may not free the right resource; the bound only needs to
+        // be conservative (no later than the true alloc cycle).
         const Uop& uop = fe.bundle.uops[fe.pos];
         const bool blocked =
             robFull(ctx) ||
             (uop.type == UopType::kLoad && ldqFull(ctx)) ||
             (uop.type == UopType::kStore && stqFull(ctx));
-        if (!blocked)
-            return now; // Allocation can proceed this cycle.
+        if (!blocked) {
+            b.stall = std::min(b.stall, at);
+            b.alloc = std::min(b.alloc, at);
+        } else {
+            Cycle h = cs.headCompletion;
+            if (_dynamicShared)
+                h = std::min(h, _ctx[ctx ^ 1].headCompletion);
+            Cycle aat = h > now ? h : now;
+            if (alternating && (aat & 1) != ctx)
+                ++aat;
+            b.alloc = std::min(b.alloc, aat);
+        }
     }
-    return bound;
+    return b;
+}
+
+SmtCore::CycleOutcome
+SmtCore::retireOnlyCycle(Cycle now)
+{
+    CycleOutcome outcome;
+    {
+        ScopedStageTimer timer(_profiler,
+                               &StageProfiler::retireSeconds);
+        outcome.retired = retireStage(now);
+    }
+    // Replicate the one stall event the slot-owning context would
+    // have recorded in fetchAllocStage (the window precondition
+    // guarantees it cannot allocate or call nextBundle this cycle).
+    const std::uint32_t contexts = activeContexts();
+    ContextId ctx =
+        contexts > 1 ? static_cast<ContextId>(now & 1) : 0;
+    if (contexts > 1 && _scheduler.active(ctx) == nullptr)
+        ctx = (ctx + 1) % contexts;
+    if (_scheduler.active(ctx) != nullptr)
+        _pmu.record(stallEventFor(ctx, now), ctx);
+    {
+        ScopedStageTimer timer(_profiler,
+                               &StageProfiler::accountSeconds);
+        accountWindow(1);
+    }
+    if (_profiler != nullptr)
+        ++_profiler->cycles;
+    return outcome;
 }
 
 EventId
@@ -517,25 +679,12 @@ SmtCore::fastForwardAccount(Cycle from, Cycle to)
     // retireStage: every skipped cycle retires zero µops.
     _pmu.recordBulk(EventId::kRetire0, 0, window);
 
-    // accountCycle: cycle counting and busy/idle attribution. The
-    // active-thread set and kernel-mode flags cannot change inside a
-    // provably stalled window.
-    _pmu.recordBulk(EventId::kCycles, 0, window);
-    std::uint32_t active = 0;
-    for (ContextId ctx = 0; ctx < contexts; ++ctx) {
-        if (!_scheduler.active(ctx)) {
-            _pmu.recordBulk(EventId::kIdleCycles, ctx, window);
-            continue;
-        }
-        ++active;
-        _pmu.recordBulk(_ctx[ctx].kernelMode ? EventId::kOsCycles
-                                             : EventId::kUserCycles,
-                        ctx, window);
-    }
-    if (active == 2)
-        _pmu.recordBulk(EventId::kDualThreadCycles, 0, window);
-    else if (active == 1)
-        _pmu.recordBulk(EventId::kSingleThreadCycles, 0, window);
+    // accountCycle equivalent: the active-thread set and kernel-mode
+    // flags cannot change inside a provably stalled window, so the
+    // whole window folds into the batched accounting accumulator
+    // (usually without even a signature change, since the stalled
+    // cycles before and after the jump account identically).
+    accountWindow(window);
 
     // fetchAllocStage: the one chosen context records one stall
     // event per cycle. With both contexts occupied the P4-style

@@ -23,6 +23,16 @@
  * Wrong-path fetch is modelled as a front-end bubble until the
  * mispredicted branch resolves (no wrong-path cache pollution; see
  * DESIGN.md §7).
+ *
+ * Hot-path data layout (see DESIGN.md §8): the per-context ROB is a
+ * fixed-capacity power-of-two ring buffer allocated once at
+ * construction, so the steady-state cycle() path performs no heap
+ * allocation; the earliest cycle each context could make progress is
+ * maintained incrementally (ROB-head completion cache) so
+ * stallBound() is O(1); and per-cycle busy/idle/mode accounting is
+ * batched into a pending window that is flushed to the PMU only when
+ * the machine state signature changes or an external reader needs
+ * exact counts (run/sample boundaries).
  */
 
 #ifndef JSMT_UARCH_SMT_CORE_H
@@ -30,7 +40,7 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "branch/branch_unit.h"
 #include "common/rng.h"
@@ -41,6 +51,7 @@
 #include "pmu/pmu.h"
 #include "trace/trace_sink.h"
 #include "uarch/core_config.h"
+#include "uarch/stage_profiler.h"
 
 namespace jsmt {
 
@@ -50,6 +61,30 @@ namespace jsmt {
 class SmtCore
 {
   public:
+    /** What one call to cycle() did (drives the simulation loop). */
+    struct CycleOutcome
+    {
+        /** µops retired this cycle (all contexts). */
+        std::uint32_t retired = 0;
+        /** µops allocated this cycle. */
+        std::uint32_t allocated = 0;
+        /**
+         * A thread declined to produce a fetch bundle this cycle
+         * (it blocked or finished generation). Process completion
+         * can only flip on a cycle with retired > 0 or this flag
+         * set, so the driver's completion scan is skipped on all
+         * other cycles.
+         */
+        bool threadEvent = false;
+
+        /** Whether the cycle retired or allocated at least one µop. */
+        bool
+        progressed() const
+        {
+            return retired + allocated > 0;
+        }
+    };
+
     SmtCore(const CoreConfig& config, MemorySystem& mem,
             BranchUnit& branch, Scheduler& scheduler, Pmu& pmu,
             std::uint64_t seed = 1);
@@ -66,12 +101,11 @@ class SmtCore
 
     /**
      * Advance the machine by one cycle.
-     * @return whether the cycle made progress (retired or allocated
-     *         at least one µop). A no-progress cycle is the cue for
-     *         the driver to probe stallBound() for a skippable
-     *         window.
+     * @return what the cycle did. An outcome with allocated == 0 is
+     *         the cue for the driver to probe stallBound() for a
+     *         skippable window.
      */
-    bool cycle(Cycle now);
+    CycleOutcome cycle(Cycle now);
 
     /**
      * Earliest future cycle at which the core could do real work
@@ -82,8 +116,56 @@ class SmtCore
      * in flight at all. The simulation driver uses this to jump the
      * clock over provably idle windows (long cache misses, drained
      * contexts) instead of simulating them cycle by cycle.
+     *
+     * O(1): reads the incrementally maintained ROB-head completion
+     * cache and the per-thread front-end gates; never walks the ROB
+     * or the memory system.
      */
     Cycle stallBound(Cycle now) const;
+
+    /**
+     * Earliest future cycle at which any context could allocate a
+     * µop or take a front-end action (context-switch flush, trace
+     * fetch, nextBundle call), assuming the scheduler takes no
+     * action in between. Unlike stallBound(), retirements due in
+     * the window do not cut it short: a window [now, allocBound)
+     * may retire µops but provably performs no allocation, so the
+     * driver can run it through retireOnlyCycle() instead of the
+     * full per-cycle path. Returns @p now when an allocation or
+     * front-end action may happen this cycle. O(1), like
+     * stallBound().
+     */
+    Cycle allocBound(Cycle now) const;
+
+    /** Both driver bounds from one pass over the context state. */
+    struct CoreBounds
+    {
+        /** stallBound(): earliest possible progress of any kind. */
+        Cycle stall = kNoCycle;
+        /** allocBound(): earliest possible allocation/front-end
+         * action (retirements do not cut it). */
+        Cycle alloc = kNoCycle;
+    };
+
+    /**
+     * Compute stallBound() and allocBound() together. The
+     * simulation driver probes both after every executed cycle, and
+     * the two bounds read the same per-context state, so the fused
+     * form halves the hot probe cost.
+     */
+    CoreBounds bounds(Cycle now) const;
+
+    /**
+     * Advance one cycle of a provably allocation-free window (see
+     * allocBound): runs the retire stage, records the stall event
+     * the slot-owning context would have recorded, and accounts the
+     * cycle — exactly what cycle() would do on such a cycle, minus
+     * the front-end walk. Only valid when allocBound(now) > now and
+     * the scheduler provably takes no action at @p now; the caller
+     * must re-derive both bounds after any cycle that retires (a
+     * retirement can wake threads and free window resources).
+     */
+    CycleOutcome retireOnlyCycle(Cycle now);
 
     /**
      * Account a fast-forwarded window of cycles [@p from, @p to):
@@ -94,6 +176,14 @@ class SmtCore
      * stallBound(from) >= @p to.
      */
     void fastForwardAccount(Cycle from, Cycle to);
+
+    /**
+     * Flush the batched cycle/mode accounting window to the PMU.
+     * Must be called before raw PMU counts are read externally (the
+     * simulation driver does so at run, sample and callback
+     * boundaries); harmless when nothing is pending.
+     */
+    void flushAccounting();
 
     /** @return true when no µops are in flight. */
     bool drained() const;
@@ -142,28 +232,130 @@ class SmtCore
         _trace = sink;
     }
 
+    /**
+     * Attach (or detach, with nullptr) a per-stage wall-time
+     * profiler (jsmt_run --profile). Profiling adds clock reads to
+     * every stage, so it costs real time; simulation results are
+     * unaffected.
+     */
+    void
+    setProfiler(StageProfiler* profiler)
+    {
+        _profiler = profiler;
+    }
+
   private:
-    /** Retired-entry bookkeeping for one in-flight µop. */
+    /**
+     * Retired-entry bookkeeping for one in-flight µop. Only the µop
+     * attributes the retire stage and its onRetire consumers read
+     * (type and mode; see retireStage) are retained, keeping ring
+     * slots at 24 bytes so a full window stays cache-resident.
+     */
     struct RobEntry
     {
         Cycle completion = 0;
         SoftwareThread* thread = nullptr;
         UopType type = UopType::kAlu;
         bool kernelMode = false;
-        /** Retained so onRetire can see the original µop. */
-        Uop uop;
+    };
+
+    /**
+     * Fixed-capacity power-of-two ring buffer of in-flight µops.
+     * Storage is allocated once (sized for the whole machine window,
+     * so a lone context under the dynamic partition policy still
+     * fits) and never reallocated: push/pop are index arithmetic,
+     * keeping the steady-state cycle() path free of heap traffic.
+     */
+    class RobRing
+    {
+      public:
+        /** Allocate storage for at least @p min_capacity entries. */
+        void
+        init(std::uint32_t min_capacity)
+        {
+            std::uint32_t cap = 1;
+            while (cap < min_capacity)
+                cap <<= 1;
+            _slots.assign(cap, RobEntry{});
+            _mask = cap - 1;
+            _head = 0;
+            _count = 0;
+        }
+
+        bool empty() const { return _count == 0; }
+        std::uint32_t size() const { return _count; }
+        std::uint32_t capacity() const { return _mask + 1; }
+
+        RobEntry& front() { return _slots[_head]; }
+        const RobEntry& front() const { return _slots[_head]; }
+
+        void
+        pop_front()
+        {
+            _head = (_head + 1) & _mask;
+            --_count;
+        }
+
+        /** Claim the next tail slot (caller fills it in place). */
+        RobEntry&
+        push_back()
+        {
+            RobEntry& entry = _slots[(_head + _count) & _mask];
+            ++_count;
+            return entry;
+        }
+
+        void
+        clear()
+        {
+            _head = 0;
+            _count = 0;
+        }
+
+      private:
+        std::vector<RobEntry> _slots;
+        std::uint32_t _mask = 0;
+        std::uint32_t _head = 0;
+        std::uint32_t _count = 0;
     };
 
     /** Per-logical-CPU pipeline state. */
     struct ContextState
     {
-        std::deque<RobEntry> rob;
+        RobRing rob;
         std::uint32_t ldqOcc = 0;
         std::uint32_t stqOcc = 0;
         /** Front end blocked until here (context-switch flush). */
         Cycle resumeAt = 0;
         SoftwareThread* lastThread = nullptr;
         bool kernelMode = false;
+        /**
+         * Completion cycle of the ROB head (kNoCycle when empty),
+         * maintained at allocate/retire time so stallBound() never
+         * touches the ring storage.
+         */
+        Cycle headCompletion = kNoCycle;
+    };
+
+    /**
+     * Machine-state signature of one accounted cycle: which thread
+     * (if any) occupies each context and in which mode, plus the
+     * active context count. Cycles with an identical signature
+     * record identical accounting events, so they are batched into
+     * one pending window and flushed with recordBulk.
+     */
+    struct AccountingSignature
+    {
+        std::array<const SoftwareThread*, kNumContexts> thread{};
+        std::array<bool, kNumContexts> kernel{};
+        std::uint32_t contexts = 0;
+
+        bool
+        operator==(const AccountingSignature& o) const
+        {
+            return thread == o.thread && kernel == o.kernel &&
+                   contexts == o.contexts;
+        }
     };
 
     std::uint32_t retireStage(Cycle now);
@@ -172,7 +364,8 @@ class SmtCore
     EventId stallEventFor(ContextId ctx, Cycle now) const;
     std::uint32_t allocFromContext(ContextId ctx, Cycle now,
                                    std::uint32_t budget);
-    void accountCycle(Cycle now);
+    /** Batch @p cycles cycles of busy/idle/mode accounting. */
+    void accountWindow(std::uint64_t cycles);
 
     /** Reserve an issue slot at or after @p earliest. */
     Cycle findIssueSlot(Cycle earliest);
@@ -190,10 +383,25 @@ class SmtCore
     Scheduler& _scheduler;
     Pmu& _pmu;
     trace::TraceSink* _trace = nullptr;
+    StageProfiler* _profiler = nullptr;
     Rng _rng;
     bool _hyperThreading = true;
 
+    // Mode-derived values recomputed in setHyperThreading() so the
+    // per-µop fullness checks read plain fields.
+    bool _dynamicShared = false;
+    std::array<std::uint32_t, kNumContexts> _robCapCache{};
+    std::array<std::uint32_t, kNumContexts> _ldqCapCache{};
+    std::array<std::uint32_t, kNumContexts> _stqCapCache{};
+
     std::array<ContextState, kNumContexts> _ctx;
+
+    /** Set by allocFromContext when a nextBundle() call declined. */
+    bool _threadEvent = false;
+
+    // Batched cycle/mode accounting (see AccountingSignature).
+    AccountingSignature _acctSig;
+    std::uint64_t _acctPending = 0;
 
     // Shared issue-bandwidth ring (stamp-validated counters).
     static constexpr std::uint32_t kIssueRingBits = 13;

@@ -24,6 +24,13 @@
  *                                  (cross-check for the fast-forward
  *                                  optimisation; results must be
  *                                  identical)
+ *     --profile                    print a per-stage wall-time
+ *                                  breakdown of the simulator hot
+ *                                  path (retire / fetch+alloc /
+ *                                  memory walk / accounting) to
+ *                                  stderr after the run; adds clock
+ *                                  reads, so the run is slower but
+ *                                  the results are unchanged
  *     --trace FILE                 capture a Chrome trace_event JSON
  *                                  timeline of the run (open in
  *                                  Perfetto / chrome://tracing); the
@@ -64,6 +71,8 @@
  *       --task-timeout 300
  */
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -86,6 +95,7 @@
 #include "resilience/supervisor.h"
 #include "trace/metrics.h"
 #include "trace/trace_sink.h"
+#include "uarch/stage_profiler.h"
 
 namespace {
 
@@ -107,6 +117,7 @@ struct Options
         "btb_miss",   "branch_mispredict", "os_cycles"};
     Cycle sampleInterval = 0;
     bool fastForward = true;
+    bool profile = false;
     std::string traceFile;
     std::string metricsFile;
     /** Benchmarks of a --sweep run (empty = single-run mode). */
@@ -126,7 +137,7 @@ constexpr const char* kFlagSummary =
     "[--seed N]\n"
     "                [--events a,b,c] "
     "[--sample-interval N]\n"
-    "                [--no-fast-forward]\n"
+    "                [--no-fast-forward] [--profile]\n"
     "                [--trace FILE] [--metrics FILE]\n"
     "                [--sweep NAMES] [--resume MANIFEST]\n"
     "                [--task-timeout SEC] [--retries N]\n"
@@ -263,6 +274,8 @@ parseArgs(int argc, char** argv)
                 static_cast<int>(attempts);
         } else if (arg == "--no-fast-forward") {
             options.fastForward = false;
+        } else if (arg == "--profile") {
+            options.profile = true;
         } else if (arg == "--trace") {
             options.traceFile = next();
         } else if (arg == "--metrics") {
@@ -464,6 +477,13 @@ main(int argc, char** argv)
         collector = std::make_unique<trace::MetricsCollector>(
             machine);
 
+    // Per-stage hot-path profile (--profile): wall time is host
+    // noise, so it goes to stderr, keeping stdout a pure function
+    // of the measurements.
+    StageProfiler profiler;
+    if (options.profile)
+        machine.core().setProfiler(&profiler);
+
     AbyssSampler sampler(machine.pmu(), events);
     Simulation::RunOptions run_options;
     run_options.fastForward = options.fastForward;
@@ -484,7 +504,9 @@ main(int argc, char** argv)
     }
 
     RunResult result;
-    if (options.sampleInterval == 0 && !tracing && !metrics) {
+    const auto run_start = std::chrono::steady_clock::now();
+    if (options.sampleInterval == 0 && !tracing && !metrics &&
+        !options.profile) {
         // Non-sampled runs are fully described by their RunResult,
         // so they can replay from the memo (spilled to
         // $JSMT_RUN_CACHE across invocations). Traced and metered
@@ -505,6 +527,42 @@ main(int argc, char** argv)
             key, [&] { return sim.run(run_options); });
     } else {
         result = sim.run(run_options);
+    }
+    const double run_wall =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - run_start)
+            .count();
+
+    if (options.profile) {
+        // fetchAllocSeconds includes the memory walks performed
+        // from inside the stage; report them exclusively.
+        const double memory = profiler.memorySeconds;
+        const double fetch_alloc =
+            profiler.fetchAllocSeconds - memory;
+        const double staged = profiler.retireSeconds +
+                              profiler.fetchAllocSeconds +
+                              profiler.accountSeconds;
+        const double driver = run_wall > staged ? run_wall - staged
+                                                : 0.0;
+        const auto pct = [&](double s) {
+            return run_wall > 0.0 ? s / run_wall * 100.0 : 0.0;
+        };
+        std::fprintf(
+            stderr,
+            "profile: %llu cycles simulated in %.3f s wall "
+            "(%llu total incl. fast-forwarded)\n"
+            "  retire           %8.3f s  %5.1f%%\n"
+            "  fetch+alloc      %8.3f s  %5.1f%%  (excl. memory)\n"
+            "  memory walk      %8.3f s  %5.1f%%\n"
+            "  accounting       %8.3f s  %5.1f%%\n"
+            "  driver/other     %8.3f s  %5.1f%%\n",
+            static_cast<unsigned long long>(profiler.cycles),
+            run_wall,
+            static_cast<unsigned long long>(result.cycles),
+            profiler.retireSeconds, pct(profiler.retireSeconds),
+            fetch_alloc, pct(fetch_alloc), memory, pct(memory),
+            profiler.accountSeconds, pct(profiler.accountSeconds),
+            driver, pct(driver));
     }
 
     if (tracing) {
