@@ -15,6 +15,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/env.h"
 #include "common/log.h"
 #include "exec/task_pool.h"
 #include "harness/experiments.h"
@@ -65,7 +66,9 @@ benchConfig(int argc, char** argv, double default_scale = 1.0)
 inline void
 banner(const std::string& what, const ExperimentConfig& config)
 {
-    const char* trace_env = std::getenv("JSMT_TRACE");
+    // envPath() so a set-but-empty JSMT_TRACE warns here instead of
+    // silently reporting "off" while jsmt_run would also ignore it.
+    const std::string trace_env = envPath("JSMT_TRACE");
     std::cout
         << "=================================================\n"
         << what << '\n'
@@ -75,7 +78,7 @@ banner(const std::string& what, const ExperimentConfig& config)
         << "scale=" << config.lengthScale << " jobs="
         << exec::TaskPool::resolveJobs(config.jobs)
         << " pair-runs=" << config.pairMinRuns << " tracing="
-        << (trace_env != nullptr && *trace_env != '\0'
+        << (!trace_env.empty()
                 ? "on (JSMT_TRACE; jsmt_run only)"
                 : "off")
         << '\n'

@@ -89,4 +89,18 @@ envString(const char* name, const std::string& fallback)
     return raw != nullptr ? std::string(raw) : fallback;
 }
 
+std::string
+envPath(const char* name, const std::string& fallback)
+{
+    const char* raw = std::getenv(name);
+    if (raw == nullptr)
+        return fallback;
+    if (raw[0] == '\0') {
+        warn(std::string(name) +
+             " is set but empty; using default '" + fallback + "'");
+        return fallback;
+    }
+    return std::string(raw);
+}
+
 } // namespace jsmt

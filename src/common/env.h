@@ -44,6 +44,16 @@ std::string envString(const char* name,
                       const std::string& fallback = "");
 
 /**
+ * Read @p name as a filesystem path. Unlike envString, a variable
+ * that is set but empty (JSMT_TRACE= ...) warns and falls back: an
+ * empty path is always an operator slip — were it passed through it
+ * would either disable the feature silently or name the current
+ * directory, neither of which was asked for.
+ */
+std::string envPath(const char* name,
+                    const std::string& fallback = "");
+
+/**
  * Strict whole-string parses (no environment access); used by the
  * helpers above and by CLI flag validation.
  * @return whether @p text parsed completely into @p out.

@@ -68,6 +68,24 @@ Rng::geoDistFor(double p)
     // every u below hi[0] floors to 0.
     if (dist.len > 0)
         dist.lo[0] = 0.0;
+    // Bucket table: j covers u in [j, j+1) / kBuckets (both edges
+    // exact doubles). The bucket takes interval k only when it lies
+    // entirely inside [lo[k], hi[k]]: then any u in the bucket
+    // satisfies lo[k] <= u < hi[k], and since u > hi[k-1] the scan's
+    // first match is k. Everything else keeps the slow marker.
+    dist.bucket.fill(GeoDist::kSlowBucket);
+    std::uint32_t k = 0;
+    for (std::uint32_t j = 0; j < GeoDist::kBuckets; ++j) {
+        const double blo = static_cast<double>(j) / GeoDist::kBuckets;
+        const double bhi =
+            static_cast<double>(j + 1) / GeoDist::kBuckets;
+        while (k < dist.len && dist.hi[k] < bhi)
+            ++k;
+        if (k >= dist.len)
+            break;
+        if (dist.lo[k] <= blo && bhi <= dist.hi[k])
+            dist.bucket[j] = static_cast<std::uint8_t>(k);
+    }
     return dist;
 }
 

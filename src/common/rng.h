@@ -103,11 +103,21 @@ class Rng
             return cap;
         const GeoDist& dist =
             _geo[_geoMru].p == p ? _geo[_geoMru] : geoDistFor(p);
-        const double u = uniform();
-        for (std::uint32_t k = 0; k < dist.len; ++k) {
-            if (u <= dist.hi[k]) {
-                if (u >= dist.lo[k])
-                    return k > cap ? cap : k;
+        // O(1) dispatch: buckets provably inside one acceptance
+        // interval store its k. The draw u is raw * 2^-53 and the
+        // bucket count is a power of two, so the bucket index
+        // floor(u * kBuckets) is just the top kBucketBits of raw —
+        // the common case never touches a double at all.
+        const std::uint64_t raw = next() >> 11;
+        const std::uint32_t k =
+            dist.bucket[raw >> (53 - GeoDist::kBucketBits)];
+        if (k != GeoDist::kSlowBucket)
+            return k > cap ? cap : k;
+        const double u = static_cast<double>(raw) * 0x1.0p-53;
+        for (std::uint32_t j = 0; j < dist.len; ++j) {
+            if (u <= dist.hi[j]) {
+                if (u >= dist.lo[j])
+                    return j > cap ? cap : j;
                 break; // Boundary sliver: reference path.
             }
         }
@@ -142,11 +152,25 @@ class Rng
      */
     struct GeoDist
     {
+        /**
+         * Bucket-table dispatch over u-space: bucket j covers
+         * [j, j+1) / kBuckets. A bucket lying entirely inside one
+         * acceptance interval stores that interval's k and the hot
+         * path answers with one table load; buckets straddling an
+         * interval boundary (or past the table) store kSlowBucket
+         * and fall back to the scan, so every draw still returns
+         * exactly what the reference computation would.
+         */
+        static constexpr std::uint32_t kBucketBits = 11;
+        static constexpr std::uint32_t kBuckets = 1u << kBucketBits;
+        static constexpr std::uint8_t kSlowBucket = 0xff;
+
         double p = -1.0;
         double logDenom = 0.0;
         std::uint32_t len = 0;
         std::array<double, 48> lo{};
         std::array<double, 48> hi{};
+        std::array<std::uint8_t, kBuckets> bucket{};
     };
 
     /** @return interval table for @p p, building/evicting as needed. */

@@ -1,0 +1,20 @@
+#include "core/event_horizon.h"
+
+namespace jsmt {
+
+EventHorizon::EventHorizon(const Scheduler& scheduler, Cycle end,
+                           Cycle sample_interval, Cycle first_sample,
+                           Cycle cancel_interval, Cycle first_cancel)
+    : _scheduler(scheduler),
+      _end(end),
+      _sampleInterval(sample_interval),
+      _cancelInterval(cancel_interval),
+      _nextSample(first_sample),
+      _nextCancel(first_cancel),
+      _schedEpoch(scheduler.stateEpoch()),
+      _schedEvent(scheduler.nextEventCycle())
+{
+    recomputeCap();
+}
+
+} // namespace jsmt

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "core/event_horizon.h"
+#include "uarch/stage_profiler.h"
 
 namespace jsmt {
 
@@ -77,11 +79,7 @@ Simulation::run(const RunOptions& options)
     bool stop_requested = false;
     bool cancelled = false;
     std::vector<JavaProcess*> just_completed;
-
-    Cycle next_sample =
-        options.sampleIntervalCycles > 0
-            ? start + options.sampleIntervalCycles
-            : ~Cycle{0};
+    StageProfiler* const profiler = _machine.core().profiler();
 
     // Cancellation is observed only on a fixed simulated-cycle
     // lattice: cheap (one atomic load every interval) and the set of
@@ -91,14 +89,28 @@ Simulation::run(const RunOptions& options)
         options.cancelCheckIntervalCycles > 0
             ? options.cancelCheckIntervalCycles
             : Cycle{65536};
-    Cycle next_cancel = options.cancellation != nullptr
-                            ? start + cancel_interval
-                            : ~Cycle{0};
     if (options.cancellation != nullptr &&
         options.cancellation->cancelled()) {
         cancelled = true;
         stop_requested = true;
     }
+
+    // The composite next-event horizon of this run: the scheduler's
+    // cached event cycle (ticks run only when due), the sampling and
+    // cancellation lattices, maxCycles, and the (event-driven)
+    // memory/JVM component horizons.
+    EventHorizon horizon(
+        _machine.scheduler(), start + options.maxCycles,
+        options.sampleIntervalCycles,
+        options.sampleIntervalCycles > 0
+            ? start + options.sampleIntervalCycles
+            : kNoCycle,
+        cancel_interval,
+        options.cancellation != nullptr ? start + cancel_interval
+                                        : kNoCycle);
+    horizon.observeComponent(_machine.mem().nextEventCycle());
+    for (const JavaProcess* process : _live)
+        horizon.observeComponent(process->nextEventCycle());
 
     // Cycles below this bound provably perform no allocation and
     // need no scheduler tick (see the probe below); they take the
@@ -107,17 +119,20 @@ Simulation::run(const RunOptions& options)
     Cycle retire_only_until = 0;
 
     while (!stop_requested && !allProcessesComplete() &&
-           _cycle - start < options.maxCycles) {
+           _cycle < horizon.end()) {
         SmtCore::CycleOutcome outcome;
         if (_cycle < retire_only_until) {
             outcome = _machine.core().retireOnlyCycle(_cycle);
         } else {
-            _machine.scheduler().tick(_cycle);
+            if (horizon.schedulerDue(_cycle)) {
+                _machine.scheduler().tick(_cycle);
+                horizon.noteTicked();
+            }
             outcome = _machine.core().cycle(_cycle);
         }
         ++_cycle;
 
-        if (_cycle >= next_sample) {
+        if (_cycle >= horizon.sampleEdge()) {
             // Land the batched cycle accounting so the sample
             // callback reads exact counts.
             _machine.core().flushAccounting();
@@ -125,15 +140,15 @@ Simulation::run(const RunOptions& options)
                 options.onSample(*this, _cycle);
             if (tracing)
                 sink->instant(trace::Track::kSim, "sample", _cycle);
-            next_sample += options.sampleIntervalCycles;
+            horizon.advanceSample();
         }
 
-        if (_cycle >= next_cancel) {
+        if (_cycle >= horizon.cancelEdge()) {
             if (options.cancellation->cancelled()) {
                 cancelled = true;
                 stop_requested = true;
             }
-            next_cancel += cancel_interval;
+            horizon.advanceCancel();
         }
 
         // Detect completions among the (few) live processes. A
@@ -168,31 +183,33 @@ Simulation::run(const RunOptions& options)
         }
 
         // Probe for a provably-stalled window after every cycle
-        // (stallBound() is O(1), so the probe is far cheaper than
-        // simulating even one skippable cycle; probing only after
-        // no-progress cycles would pay one full wasted cycle to
-        // enter every stall window).
-        if (options.fastForward && !stop_requested &&
-            !allProcessesComplete()) {
+        // that performed no allocation (an allocating cycle is
+        // never the last cycle before a stall window worth probing:
+        // the one extra full cycle it costs to enter such a window
+        // is cheaper than probing after every busy cycle). The
+        // probe and jump are bit-identity-preserving either way —
+        // the full path on a stalled cycle records exactly the
+        // events fastForwardAccount() replays.
+        if (options.fastForward && outcome.allocated == 0 &&
+            !stop_requested && !allProcessesComplete()) {
+            ScopedStageTimer timer(
+                profiler, &StageProfiler::fastForwardSeconds);
             // When every context is provably stalled until a known
             // future cycle, jump the clock there and bulk-account
             // the skipped cycles instead of simulating them.
             const Cycle sched_bound =
-                _machine.scheduler().stallBound(_cycle);
+                horizon.schedulerBound(_cycle);
             const SmtCore::CoreBounds core_bounds =
                 _machine.core().bounds(_cycle);
             const Cycle bound =
                 std::min(core_bounds.stall, sched_bound);
             Cycle alloc_bound = core_bounds.alloc;
             if (bound > _cycle) {
-                // Stop one cycle short of the next sample point so
-                // onSample fires on the exact same clock edge as the
-                // cycle-by-cycle path.
-                // Stop one cycle short of the next cancellation
-                // check for the same reason.
-                Cycle target = std::min(
-                    {bound, start + options.maxCycles,
-                     next_sample - 1, next_cancel - 1});
+                // Capped one cycle short of the next sample and
+                // cancellation edges so both fire on the exact
+                // clock edge the cycle-by-cycle path would produce.
+                const Cycle target =
+                    std::min(bound, horizon.jumpCap());
                 if (target > _cycle) {
                     _machine.core().fastForwardAccount(_cycle,
                                                        target);
@@ -204,10 +221,11 @@ Simulation::run(const RunOptions& options)
                 }
             }
             // Windows that retire but provably cannot allocate take
-            // the slim path. Re-derived after every cycle, so any
-            // state change a retirement causes (a woken thread, a
-            // freed window slot) invalidates the bound before the
-            // next iteration uses it.
+            // the slim path. Re-derived after every slim cycle, so
+            // any state change a retirement causes (a woken thread,
+            // a freed window slot) invalidates the bound before the
+            // next iteration uses it; a scheduler event inside the
+            // window is impossible (sched_bound caps it).
             retire_only_until =
                 tracing ? 0 : std::min(alloc_bound, sched_bound);
         }

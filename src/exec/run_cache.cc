@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/env.h"
 #include "common/fileio.h"
 #include "common/json.h"
 #include "common/log.h"
@@ -339,7 +340,8 @@ RunCache::global()
 {
     static RunCache* cache = [] {
         auto* c = new RunCache();
-        if (const char* path = std::getenv("JSMT_RUN_CACHE"))
+        const std::string path = envPath("JSMT_RUN_CACHE");
+        if (!path.empty())
             c->setSpillPath(path);
         // Spill at normal process exit; leaked on _exit/abort,
         // which only costs a cold cache next time.

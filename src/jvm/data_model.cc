@@ -22,7 +22,14 @@ DataModel::DataModel(const WorkloadProfile& profile, Rng rng,
       _rng(std::move(rng)),
       _threadIndex(thread_index),
       _numThreads(std::max(1u, num_threads)),
-      _privateStride(roundUpToPage(profile.privateBytes))
+      _privateStride(roundUpToPage(profile.privateBytes)),
+      _privHot(std::min(profile.hotBytes, profile.privateBytes)),
+      _privWarm(std::min(profile.warmBytes, profile.privateBytes)),
+      _privCold(profile.privateBytes),
+      _sharedHot(std::min(profile.hotBytes, profile.sharedBytes)),
+      _sharedWarm(std::min(profile.warmBytes, profile.sharedBytes)),
+      _sharedCold(profile.sharedBytes),
+      _peerPick(_numThreads > 1 ? _numThreads - 1 : 0)
 {
 }
 
@@ -34,21 +41,20 @@ DataModel::privateBaseOf(std::uint32_t index) const
 }
 
 Addr
-DataModel::regionAddr(Addr base, std::uint64_t footprint,
-                      std::uint64_t hot_bytes)
+DataModel::regionAddr(Addr base, const ExactDiv& hot,
+                      const ExactDiv& warm, const ExactDiv& cold)
 {
     // Three-tier reuse model: hot (cache-resident), warm
-    // (L2-resident), cold (whole footprint).
+    // (L2-resident), cold (whole footprint). The spans are the
+    // same min(tier, footprint) values the divisors were built
+    // from, and ExactDiv::draw() reproduces Rng::below() exactly.
     const double r = _rng.uniform();
-    std::uint64_t span;
-    if (r < _profile.hotFrac) {
-        span = std::min(hot_bytes, footprint);
-    } else if (r < _profile.hotFrac + _profile.warmFrac) {
-        span = std::min(_profile.warmBytes, footprint);
-    } else {
-        span = footprint;
-    }
-    return (base + _rng.below(span)) & ~Addr{7};
+    const ExactDiv& span =
+        r < _profile.hotFrac
+            ? hot
+            : r < _profile.hotFrac + _profile.warmFrac ? warm
+                                                       : cold;
+    return (base + span.draw(_rng)) & ~Addr{7};
 }
 
 Addr
@@ -62,27 +68,26 @@ DataModel::nextAddr()
         if (_numThreads > 1 &&
             _rng.chance(_profile.crossThreadFrac)) {
             std::uint32_t owner = static_cast<std::uint32_t>(
-                _rng.below(_numThreads - 1));
+                _peerPick.draw(_rng));
             if (owner >= _threadIndex)
                 ++owner;
             return (privateBaseOf(owner) +
-                    _rng.below(_profile.privateBytes)) &
+                    _privCold.draw(_rng)) &
                    ~Addr{7};
         }
-        return regionAddr(privateBaseOf(_threadIndex),
-                          _profile.privateBytes,
-                          _profile.hotBytes);
+        return regionAddr(privateBaseOf(_threadIndex), _privHot,
+                          _privWarm, _privCold);
     }
 
     // Shared-region access: phase-aligned sweep or tiered random.
     if (_rng.chance(_profile.sweepFrac)) {
         const Addr addr =
-            kSharedBase + (_sweepPos % _profile.sharedBytes);
+            kSharedBase + _sharedCold.mod(_sweepPos);
         _sweepPos += _profile.sweepStride;
         return addr & ~Addr{7};
     }
-    return regionAddr(kSharedBase, _profile.sharedBytes,
-                      _profile.hotBytes);
+    return regionAddr(kSharedBase, _sharedHot, _sharedWarm,
+                      _sharedCold);
 }
 
 } // namespace jsmt

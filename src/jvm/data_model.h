@@ -25,6 +25,7 @@
 
 #include <cstdint>
 
+#include "common/exact_div.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "jvm/profile.h"
@@ -59,8 +60,8 @@ class DataModel
     std::uint64_t privateStride() const { return _privateStride; }
 
   private:
-    Addr regionAddr(Addr base, std::uint64_t footprint,
-                    std::uint64_t hot_bytes);
+    Addr regionAddr(Addr base, const ExactDiv& hot,
+                    const ExactDiv& warm, const ExactDiv& cold);
 
     const WorkloadProfile& _profile;
     Rng _rng;
@@ -68,6 +69,17 @@ class DataModel
     std::uint32_t _numThreads;
     std::uint64_t _privateStride;
     std::uint64_t _sweepPos = 0;
+
+    // Reduction spans are fixed per profile, so the `% span` on
+    // every generated address uses a precomputed exact divide
+    // (bit-identical to the hardware `%`, far cheaper).
+    ExactDiv _privHot;
+    ExactDiv _privWarm;
+    ExactDiv _privCold;
+    ExactDiv _sharedHot;
+    ExactDiv _sharedWarm;
+    ExactDiv _sharedCold;
+    ExactDiv _peerPick;
 };
 
 } // namespace jsmt

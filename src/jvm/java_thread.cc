@@ -177,12 +177,17 @@ JavaThread::fillBundle(FetchBundle& bundle, CodeWalker& walker,
     const auto line_uops =
         static_cast<std::uint8_t>(kUopsPerTraceLine);
     for (std::uint8_t i = 0; i < line_uops; ++i) {
+        // Field writes instead of a whole-struct reset: the pipeline
+        // reads dataVaddr only for loads/stores and mispredictProb
+        // only for branches, so a stale value in an unused field is
+        // unobservable; every consumed field is written below
+        // (execLatency is read for every type).
         Uop& uop = bundle.uops[i];
-        uop = Uop{};
         uop.kernelMode = kernel_mode;
         uop.pc = bundle.traceAddr + static_cast<Addr>(i) * 4;
         uop.depDist = static_cast<std::uint8_t>(std::min<std::uint64_t>(
             1 + _rng.geometric(dep_p, kMaxDepDist), kMaxDepDist));
+        uop.execLatency = 1;
 
         const bool is_last = (i + 1 == line_uops);
         const double r = _rng.uniform();

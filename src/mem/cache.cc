@@ -76,33 +76,47 @@ Cache::accessLine(Asid asid, Addr addr, ContextId ctx,
     ++_useClock;
     const std::uint32_t set = setIndex(addr, ctx);
     const Addr tag = tagOf(addr);
+    if ((tag >> kAsidShift) != 0 || asid >= kMaxAsid)
+        fatal("cache " + _config.name +
+              ": address/asid exceeds packed-key width");
+    const LineKey key = makeKey(asid, tag);
     Line* base = &_lines[static_cast<std::size_t>(set) * _config.ways];
+    const std::uint32_t ways = _config.ways;
 
-    Line* victim = base;
-    for (std::uint32_t w = 0; w < _config.ways; ++w) {
+    // Hit scan first: one compare per way, no victim bookkeeping on
+    // the (overwhelmingly common) hit path.
+    for (std::uint32_t w = 0; w < ways; ++w) {
         Line& line = base[w];
-        if (line.valid && line.asid == asid && line.tag == tag) {
+        if (line.key == key) {
             line.lastUse = _useClock;
             *line_out = &line;
             return true;
         }
-        if (!line.valid) {
+    }
+
+    // Miss: pick the victim exactly as the original combined scan
+    // did — the last invalid way if any, else the unique least
+    // recently used line (lastUse stamps are distinct).
+    Line* victim = base;
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        Line& line = base[w];
+        if (line.key == 0) {
             victim = &line;
-        } else if (victim->valid && line.lastUse < victim->lastUse) {
+        } else if (victim->key != 0 &&
+                   line.lastUse < victim->lastUse) {
             victim = &line;
         }
     }
     ++_misses;
-    if (victim->valid) {
+    if (victim->key != 0) {
         ++_evictions;
-        if (victim->asid != asid)
+        if ((victim->key >> kAsidShift) !=
+            (static_cast<LineKey>(asid) + 1))
             ++_crossAsidEvictions;
     } else {
         ++_validLines;
     }
-    victim->valid = true;
-    victim->asid = asid;
-    victim->tag = tag;
+    victim->key = key;
     victim->lastUse = _useClock;
     *line_out = victim;
     return false;
@@ -113,11 +127,13 @@ Cache::lookup(Asid asid, Addr addr, ContextId ctx) const
 {
     const std::uint32_t set = setIndex(addr, ctx);
     const Addr tag = tagOf(addr);
+    if ((tag >> kAsidShift) != 0 || asid >= kMaxAsid)
+        return false; // Could never have been installed.
+    const LineKey key = makeKey(asid, tag);
     const Line* base =
         &_lines[static_cast<std::size_t>(set) * _config.ways];
     for (std::uint32_t w = 0; w < _config.ways; ++w) {
-        const Line& line = base[w];
-        if (line.valid && line.asid == asid && line.tag == tag)
+        if (base[w].key == key)
             return true;
     }
     return false;
@@ -134,8 +150,9 @@ Cache::flush()
 void
 Cache::flushAsid(Asid asid)
 {
+    const LineKey owner = static_cast<LineKey>(asid) + 1;
     for (Line& line : _lines) {
-        if (line.valid && line.asid == asid) {
+        if (line.key != 0 && (line.key >> kAsidShift) == owner) {
             line = Line{};
             --_validLines;
         }

@@ -48,12 +48,34 @@ struct CacheConfig
 class Cache
 {
   public:
+    /**
+     * Identity of one line packed into a single word so the set walk
+     * — the hottest loop of the memory model — is one load and one
+     * compare per way. Layout: ((asid + 1) << kAsidShift) | tag,
+     * with 0 meaning invalid (the +1 keeps a valid kernel-asid
+     * tag-0 line distinct from an empty way). Tag and asid widths
+     * are enforced at access time (see kAsidShift).
+     */
+    using LineKey = std::uint64_t;
+
+    /** Bit position of the asid field within a LineKey. */
+    static constexpr std::uint32_t kAsidShift = 44;
+
+    /** Exclusive upper bound on asids (asid + 1 must fit 20 bits). */
+    static constexpr Asid kMaxAsid = (1u << 20) - 1;
+
+    /** @return the packed key for (@p asid, @p tag). */
+    static LineKey
+    makeKey(Asid asid, Addr tag)
+    {
+        return ((static_cast<LineKey>(asid) + 1) << kAsidShift) |
+               tag;
+    }
+
     /** One cache line's bookkeeping (public for AccessMemo). */
     struct Line
     {
-        bool valid = false;
-        Asid asid = 0;
-        Addr tag = 0;
+        LineKey key = 0; ///< 0 when invalid.
         std::uint64_t lastUse = 0;
     };
 
@@ -61,15 +83,14 @@ class Cache
      * Caller-held single-line memo for accessFast(): remembers the
      * line the last access through this memo touched. The memo is
      * self-revalidating — the fast path re-checks the line's own
-     * (valid, asid, tag) before trusting it, so flushes and
-     * evictions need no explicit invalidation (line storage is
-     * allocated once and never moves).
+     * key before trusting it, so flushes and evictions need no
+     * explicit invalidation (line storage is allocated once and
+     * never moves).
      */
     struct AccessMemo
     {
         Line* line = nullptr;
-        Asid asid = 0;
-        Addr tag = 0;
+        LineKey key = 0;
         ContextId ctx = 0;
     };
 
@@ -100,18 +121,20 @@ class Cache
                AccessMemo* memo)
     {
         const Addr tag = addr >> _lineShift;
+        const LineKey key = makeKey(asid, tag);
         Line* const line = memo->line;
-        if (line != nullptr && memo->tag == tag &&
-            memo->asid == asid && memo->ctx == ctx &&
-            line->valid && line->asid == asid &&
-            line->tag == tag) {
+        // The width checks keep an out-of-range (asid, tag) — which
+        // would alias under the key packing — off the memo path; it
+        // falls through to accessLine(), which rejects it loudly.
+        if (line != nullptr && memo->key == key &&
+            memo->ctx == ctx && line->key == key &&
+            (tag >> kAsidShift) == 0 && asid < kMaxAsid) {
             ++_accesses;
             ++_useClock;
             line->lastUse = _useClock;
             return true;
         }
-        memo->asid = asid;
-        memo->tag = tag;
+        memo->key = key;
         memo->ctx = ctx;
         return accessLine(asid, addr, ctx, &memo->line);
     }

@@ -20,11 +20,18 @@ Scheduler::setNumContexts(std::uint32_t n)
         fatal("scheduler: context count must be 1.." +
               std::to_string(kNumContexts));
     _numContexts = n;
+    ++_stateEpoch;
 }
 
 void
 Scheduler::addThread(SoftwareThread* thread)
 {
+    // Route every future state transition of this thread into the
+    // epoch counter, so cached horizons are invalidated even by
+    // transitions that bypass the scheduler (stop-the-world GC
+    // blocking, retire-hook drain detection).
+    thread->bindStateEpoch(&_stateEpoch);
+    ++_stateEpoch;
     if (thread->state() == ThreadState::kRunnable)
         _runQueue.push_back(thread);
 }
@@ -50,6 +57,7 @@ Scheduler::dispatch(ContextId ctx, Cycle now)
     _runQueue.pop_front();
     _current[ctx] = next;
     _quantumEnd[ctx] = now + _config.quantumCycles;
+    ++_stateEpoch;
     _pmu.record(EventId::kContextSwitches, ctx);
     next->addKernelWork(_config.contextSwitchUops);
 
@@ -76,6 +84,7 @@ Scheduler::tick(Cycle now)
         if (cur && cur->state() != ThreadState::kRunnable) {
             _current[ctx] = nullptr;
             cur = nullptr;
+            ++_stateEpoch;
         }
 
         if (!cur) {
@@ -94,29 +103,35 @@ Scheduler::tick(Cycle now)
                 dispatch(ctx, now);
             } else {
                 _quantumEnd[ctx] = now + _config.quantumCycles;
+                ++_stateEpoch; // The quantum horizon moved.
             }
         }
     }
 }
 
 Cycle
-Scheduler::stallBound(Cycle now) const
+Scheduler::nextEventCycle() const
 {
     Cycle bound = kNoCycle;
     for (ContextId ctx = 0; ctx < _numContexts; ++ctx) {
         const SoftwareThread* cur = _current[ctx];
         if (cur && cur->state() != ThreadState::kRunnable)
-            return now; // Lazy deschedule pending.
+            return 0; // Lazy deschedule pending.
         if (!cur) {
             if (!_runQueue.empty())
-                return now; // Dispatch pending.
+                return 0; // Dispatch pending.
             continue;
         }
-        if (now >= _quantumEnd[ctx])
-            return now; // Timer tick pending.
         bound = std::min(bound, _quantumEnd[ctx]);
     }
     return bound;
+}
+
+Cycle
+Scheduler::stallBound(Cycle now) const
+{
+    const Cycle next = nextEventCycle();
+    return next > now ? next : now;
 }
 
 void
@@ -126,6 +141,7 @@ Scheduler::reset()
     _current.fill(nullptr);
     _quantumEnd.fill(0);
     _lastContext.clear();
+    ++_stateEpoch;
 }
 
 } // namespace jsmt

@@ -84,6 +84,29 @@ class Scheduler
      */
     Cycle stallBound(Cycle now) const;
 
+    /**
+     * The scheduler's next-event horizon, independent of the current
+     * cycle: 0 when a tick at any cycle would already act (a lazy
+     * deschedule or a dispatch is pending), otherwise the earliest
+     * quantum expiry of a running thread, or kNoCycle when nothing
+     * is scheduled. Valid until stateEpoch() changes, so the
+     * simulation driver caches it and skips the per-cycle tick()
+     * call entirely between events (DESIGN.md §9). May only shrink
+     * on an epoch bump; within one epoch it is exact, not merely a
+     * bound.
+     */
+    Cycle nextEventCycle() const;
+
+    /**
+     * Monotonic counter bumped on every observable scheduler
+     * mutation: thread state transitions (via the cell bound in
+     * addThread), dispatches, lazy deschedules, quantum renewals,
+     * admissions, context-count changes and reset(). A cached
+     * nextEventCycle() result is valid exactly while this value is
+     * unchanged.
+     */
+    std::uint64_t stateEpoch() const { return _stateEpoch; }
+
     /** Remove all threads (between harness runs). */
     void reset();
 
@@ -113,6 +136,8 @@ class Scheduler
     std::deque<SoftwareThread*> _runQueue;
     std::array<SoftwareThread*, kNumContexts> _current{};
     std::array<Cycle, kNumContexts> _quantumEnd{};
+    /** See stateEpoch(); also bumped by bound SoftwareThreads. */
+    std::uint64_t _stateEpoch = 0;
     std::uint64_t _migrations = 0;
     /** Logical CPU each thread last ran on (migration detection). */
     std::map<const SoftwareThread*, ContextId> _lastContext;

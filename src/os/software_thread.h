@@ -102,8 +102,37 @@ class SoftwareThread
     /** @return current lifecycle state. */
     ThreadState state() const { return _state; }
 
-    /** Set lifecycle state (used by scheduler and JVM internals). */
-    void setState(ThreadState state) { _state = state; }
+    /**
+     * Set lifecycle state (used by scheduler and JVM internals).
+     *
+     * Every transition bumps the scheduler's state epoch through the
+     * bound cell (see bindStateEpoch), so the simulation driver's
+     * cached scheduler horizon is invalidated at the source of the
+     * change. This matters because not every transition flows
+     * through a scheduler call: a stop-the-world GC blocks *other*
+     * runnable threads directly, and a drained collector is retired
+     * to kDone from a µop retire hook (DESIGN.md §9).
+     */
+    void
+    setState(ThreadState state)
+    {
+        _state = state;
+        if (_stateEpochCell != nullptr)
+            ++*_stateEpochCell;
+    }
+
+    /**
+     * Bind the scheduler's state-epoch counter so setState() can
+     * invalidate cached scheduler horizons. Installed by
+     * Scheduler::addThread (a plain pointer avoids an include cycle
+     * with the scheduler header); never unbound — the scheduler
+     * outlives the threads it multiplexes.
+     */
+    void
+    bindStateEpoch(std::uint64_t* cell)
+    {
+        _stateEpochCell = cell;
+    }
 
     /**
      * Enqueue kernel-mode work (syscall body, scheduler path, timer
@@ -187,6 +216,8 @@ class SoftwareThread
     ThreadId _id;
     Asid _asid;
     ThreadState _state = ThreadState::kRunnable;
+    /** Scheduler state-epoch cell; see bindStateEpoch(). */
+    std::uint64_t* _stateEpochCell = nullptr;
     std::uint64_t _pendingKernelUops = 0;
     std::uint64_t _seq = 0;
     std::uint64_t _generatedUops = 0;

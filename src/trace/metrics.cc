@@ -332,6 +332,7 @@ MetricsCollector::MetricsCollector(Machine& machine)
     _l1dEvictions = _registry.addCounter("mem", "l1d_evictions");
     _l2Evictions = _registry.addCounter("mem", "l2_evictions");
     _schedMigrations = _registry.addCounter("os", "migrations");
+    _ffCycles = _registry.addCounter("core", "fast_forward_cycles");
 
     for (ContextId ctx = 0; ctx < kNumContexts; ++ctx) {
         _robOcc[ctx] = _registry.addGauge("core", "rob_occupancy",
@@ -393,6 +394,7 @@ MetricsCollector::update()
                          _machine.scheduler().migrations());
 
     SmtCore& core = _machine.core();
+    _registry.setCounter(_ffCycles, core.fastForwardedCycles());
     for (ContextId ctx = 0; ctx < kNumContexts; ++ctx) {
         _registry.setGauge(
             _robOcc[ctx],
@@ -457,6 +459,11 @@ MetricsCollector::writeJson(std::ostream& out) const
     std::vector<std::pair<std::string, double>> derived = {
         {"ipc", ratioOf(pmu.rawTotal(EventId::kUopsRetired),
                         cycles)},
+        // Share of simulated cycles the event-horizon engine
+        // fast-forwarded instead of simulating (DESIGN.md §9).
+        {"horizon_skip_pct",
+         100.0 * ratioOf(_machine.core().fastForwardedCycles(),
+                         cycles)},
         {"trace_cache_mpki", mpki(EventId::kTraceCacheMiss)},
         {"l1d_mpki", mpki(EventId::kL1dMiss)},
         {"l2_mpki", mpki(EventId::kL2Miss)},

@@ -200,6 +200,7 @@ class MetricsCollector
     std::size_t _l1dEvictions = 0;
     std::size_t _l2Evictions = 0;
     std::size_t _schedMigrations = 0;
+    std::size_t _ffCycles = 0;
 
     // Gauges.
     std::array<std::size_t, kNumContexts> _robOcc{};

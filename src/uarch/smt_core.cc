@@ -150,6 +150,8 @@ SmtCore::reset()
     // simulated; land them before the signature is wiped.
     flushAccounting();
     _acctSig = AccountingSignature{};
+    _acctEpochSeen = ~std::uint64_t{0};
+    _acctKernelFlip = true;
     for (ContextState& cs : _ctx) {
         // In place: the ring's storage survives across runs.
         cs.rob.clear();
@@ -160,8 +162,7 @@ SmtCore::reset()
         cs.kernelMode = false;
         cs.headCompletion = kNoCycle;
     }
-    _issueCount.fill(0);
-    _issueStamp.fill(0);
+    _issueSlot.fill(0);
 }
 
 Cycle
@@ -169,15 +170,15 @@ SmtCore::findIssueSlot(Cycle earliest)
 {
     Cycle c = earliest;
     const Cycle horizon = earliest + kIssueRingSize - 1;
+    const std::uint64_t width = _config.issueWidth;
     while (c < horizon) {
-        const std::uint32_t idx = c & (kIssueRingSize - 1);
-        if (_issueStamp[idx] != c) {
-            _issueStamp[idx] = c;
-            _issueCount[idx] = 1;
+        std::uint64_t& slot = _issueSlot[c & (kIssueRingSize - 1)];
+        if ((slot >> 8) != c) {
+            slot = (c << 8) | 1;
             return c;
         }
-        if (_issueCount[idx] < _config.issueWidth) {
-            ++_issueCount[idx];
+        if ((slot & 0xff) < width) {
+            ++slot;
             return c;
         }
         ++c;
@@ -189,6 +190,17 @@ SmtCore::findIssueSlot(Cycle earliest)
 std::uint32_t
 SmtCore::retireStage(Cycle now)
 {
+    // Nothing can retire before either ROB head completes (entries
+    // retire in order, so only the heads matter). The cached head
+    // completions are exact (kNoCycle when empty; an inactive
+    // context's stays kNoCycle), making this early-out record the
+    // same single kRetire0 event the full scan would.
+    if (_ctx[0].headCompletion > now &&
+        _ctx[1].headCompletion > now) {
+        _pmu.record(EventId::kRetire0, 0);
+        return 0;
+    }
+
     std::uint32_t budget = _config.retireWidth;
     std::uint32_t retired_total = 0;
     const std::uint32_t contexts = activeContexts();
@@ -196,7 +208,11 @@ SmtCore::retireStage(Cycle now)
         contexts > 1 ? static_cast<ContextId>(now & 1) : 0;
 
     for (std::uint32_t k = 0; k < contexts && budget > 0; ++k) {
-        const ContextId ctx = (first + k) % contexts;
+        // contexts is 1 or 2, so the modulo reduces to a mask (a
+        // hardware divide here costs more than the rest of a
+        // retire-0 call).
+        const ContextId ctx =
+            static_cast<ContextId>((first + k) & (contexts - 1));
         ContextState& cs = _ctx[ctx];
         std::uint32_t uops = 0;
         std::uint32_t branches = 0;
@@ -295,7 +311,10 @@ SmtCore::allocFromContext(ContextId ctx, Cycle now,
             }
             fe.pos = 0;
             fe.valid = true;
-            cs.kernelMode = fe.bundle.kernelMode;
+            if (cs.kernelMode != fe.bundle.kernelMode) {
+                cs.kernelMode = fe.bundle.kernelMode;
+                _acctKernelFlip = true;
+            }
             const bool stale_trace =
                 fe.bundle.rebuildProb > 0.0f &&
                 _rng.chance(fe.bundle.rebuildProb);
@@ -325,7 +344,10 @@ SmtCore::allocFromContext(ContextId ctx, Cycle now,
             }
             return used;
         }
-        cs.kernelMode = fe.bundle.kernelMode;
+        if (cs.kernelMode != fe.bundle.kernelMode) {
+            cs.kernelMode = fe.bundle.kernelMode;
+            _acctKernelFlip = true;
+        }
 
         while (used < budget && fe.pos < fe.bundle.count) {
             const Uop& uop = fe.bundle.uops[fe.pos];
@@ -450,13 +472,16 @@ SmtCore::fetchAllocStage(Cycle now)
     // SMT gains on the real machine.
     ContextId ctx = first;
     if (contexts > 1 && _scheduler.active(first) == nullptr)
-        ctx = (first + 1) % contexts;
+        ctx = static_cast<ContextId>((first + 1) & 1);
     return allocFromContext(ctx, now, budget);
 }
 
 void
-SmtCore::accountWindow(std::uint64_t cycles)
+SmtCore::accountWindowRebuild(std::uint64_t cycles)
 {
+    _acctEpochSeen = _scheduler.stateEpoch();
+    _acctKernelFlip = false;
+
     AccountingSignature sig;
     sig.contexts = activeContexts();
     for (ContextId ctx = 0; ctx < sig.contexts; ++ctx) {
@@ -636,7 +661,7 @@ SmtCore::retireOnlyCycle(Cycle now)
     ContextId ctx =
         contexts > 1 ? static_cast<ContextId>(now & 1) : 0;
     if (contexts > 1 && _scheduler.active(ctx) == nullptr)
-        ctx = (ctx + 1) % contexts;
+        ctx = static_cast<ContextId>((ctx + 1) & 1);
     if (_scheduler.active(ctx) != nullptr)
         _pmu.record(stallEventFor(ctx, now), ctx);
     {
@@ -674,6 +699,7 @@ SmtCore::fastForwardAccount(Cycle from, Cycle to)
     if (to <= from)
         return;
     const std::uint64_t window = to - from;
+    _ffCycles += window;
     const std::uint32_t contexts = activeContexts();
 
     // retireStage: every skipped cycle retires zero µops.

@@ -185,6 +185,13 @@ class SmtCore
      */
     void flushAccounting();
 
+    /**
+     * Cycles the driver jumped over via fastForwardAccount() since
+     * construction (cumulative, like the raw PMU counters). The
+     * horizon_skip_pct metric is this over the raw kCycles total.
+     */
+    std::uint64_t fastForwardedCycles() const { return _ffCycles; }
+
     /** @return true when no µops are in flight. */
     bool drained() const;
 
@@ -243,6 +250,9 @@ class SmtCore
     {
         _profiler = profiler;
     }
+
+    /** @return the attached profiler (null when detached). */
+    StageProfiler* profiler() const { return _profiler; }
 
   private:
     /**
@@ -364,8 +374,26 @@ class SmtCore
     EventId stallEventFor(ContextId ctx, Cycle now) const;
     std::uint32_t allocFromContext(ContextId ctx, Cycle now,
                                    std::uint32_t budget);
-    /** Batch @p cycles cycles of busy/idle/mode accounting. */
-    void accountWindow(std::uint64_t cycles);
+    /**
+     * Batch @p cycles cycles of busy/idle/mode accounting. Inline
+     * fast path: nothing that feeds the signature changed since the
+     * last rebuild (see _acctEpochSeen), so the pending window just
+     * grows. This is the per-cycle common case — signatures change
+     * at scheduling events, tens of thousands of cycles apart.
+     */
+    void
+    accountWindow(std::uint64_t cycles)
+    {
+        if (_scheduler.stateEpoch() == _acctEpochSeen &&
+            !_acctKernelFlip) {
+            _acctPending += cycles;
+            return;
+        }
+        accountWindowRebuild(cycles);
+    }
+
+    /** Out-of-line signature rebuild for accountWindow(). */
+    void accountWindowRebuild(std::uint64_t cycles);
 
     /** Reserve an issue slot at or after @p earliest. */
     Cycle findIssueSlot(Cycle earliest);
@@ -402,13 +430,32 @@ class SmtCore
     // Batched cycle/mode accounting (see AccountingSignature).
     AccountingSignature _acctSig;
     std::uint64_t _acctPending = 0;
+    /**
+     * Scheduler state epoch the signature was last rebuilt at. While
+     * the epoch is unchanged and no context flipped kernel mode
+     * (_acctKernelFlip), the live signature provably equals _acctSig
+     * — every signature input (active-thread set, context count,
+     * kernel flags of occupied contexts) can only change through an
+     * epoch-bumping scheduler mutation or a flagged kernel-mode
+     * write — so accountWindow() extends the pending window without
+     * re-deriving it. ~0 forces a rebuild on first use and after
+     * reset().
+     */
+    std::uint64_t _acctEpochSeen = ~std::uint64_t{0};
+    /** A context's kernelMode changed since the last rebuild. */
+    bool _acctKernelFlip = true;
+    /** Cycles skipped via fastForwardAccount() (cumulative). */
+    std::uint64_t _ffCycles = 0;
 
-    // Shared issue-bandwidth ring (stamp-validated counters).
+    // Shared issue-bandwidth ring (stamp-validated counters). Each
+    // slot packs (stamp << 8) | count into one word so the scan in
+    // findIssueSlot() — the hottest loop of the allocation path —
+    // costs one load per probed cycle instead of two. 56 stamp bits
+    // comfortably hold any simulated cycle count.
     static constexpr std::uint32_t kIssueRingBits = 13;
     static constexpr std::uint32_t kIssueRingSize =
         1u << kIssueRingBits;
-    std::array<std::uint8_t, kIssueRingSize> _issueCount{};
-    std::array<Cycle, kIssueRingSize> _issueStamp{};
+    std::array<std::uint64_t, kIssueRingSize> _issueSlot{};
 };
 
 } // namespace jsmt

@@ -34,6 +34,13 @@ struct StageProfiler
     double memorySeconds = 0.0;
     /** Busy/idle/mode accounting (batched PMU window upkeep). */
     double accountSeconds = 0.0;
+    /**
+     * Fast-forward machinery in the driver: horizon probes, clock
+     * jumps and their batched skipped-window accounting. Accumulated
+     * by the simulation loop, not the core, so it is disjoint from
+     * the per-stage buckets above.
+     */
+    double fastForwardSeconds = 0.0;
     /** Cycles simulated while attached (fast-forwarded ones not
      *  included — they never enter the per-cycle path). */
     std::uint64_t cycles = 0;

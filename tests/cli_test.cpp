@@ -134,6 +134,19 @@ TEST(CliEnv, MalformedTaskTimeoutWarnsAndStillRuns)
         << r.output;
 }
 
+TEST(CliEnv, EmptyTracePathWarnsAndStillRuns)
+{
+    // JSMT_TRACE= (set but empty) is an operator slip: the run must
+    // warn and proceed untraced rather than silently dropping the
+    // request or writing to an unnamed file.
+    const CommandResult r = runCommand(
+        "JSMT_TRACE= " + binary() +
+        " --benchmark compress --scale 0.02 2>&1");
+    EXPECT_EQ(r.status, 0) << r.output;
+    EXPECT_TRUE(contains(r.output, "JSMT_TRACE")) << r.output;
+    EXPECT_TRUE(contains(r.output, "empty")) << r.output;
+}
+
 TEST(CliSweep, SupervisionFlagsAreAccepted)
 {
     const CommandResult r = runCommand(

@@ -306,7 +306,7 @@ parseArgs(int argc, char** argv)
         }
     }
     if (options.traceFile.empty())
-        options.traceFile = envString("JSMT_TRACE");
+        options.traceFile = envPath("JSMT_TRACE");
     if (options.workloads.empty()) {
         WorkloadSpec spec;
         spec.benchmark = "PseudoJBB";
@@ -535,18 +535,29 @@ main(int argc, char** argv)
 
     if (options.profile) {
         // fetchAllocSeconds includes the memory walks performed
-        // from inside the stage; report them exclusively.
+        // from inside the stage; report them exclusively. The
+        // fast_forward bucket (horizon probes + clock jumps +
+        // skipped-window accounting) is accumulated by the driver
+        // loop, so it is disjoint from the core stages.
         const double memory = profiler.memorySeconds;
         const double fetch_alloc =
             profiler.fetchAllocSeconds - memory;
         const double staged = profiler.retireSeconds +
                               profiler.fetchAllocSeconds +
-                              profiler.accountSeconds;
+                              profiler.accountSeconds +
+                              profiler.fastForwardSeconds;
         const double driver = run_wall > staged ? run_wall - staged
                                                 : 0.0;
         const auto pct = [&](double s) {
             return run_wall > 0.0 ? s / run_wall * 100.0 : 0.0;
         };
+        const std::uint64_t ff_cycles =
+            machine.core().fastForwardedCycles();
+        const double skip_pct =
+            result.cycles > 0
+                ? 100.0 * static_cast<double>(ff_cycles) /
+                      static_cast<double>(result.cycles)
+                : 0.0;
         std::fprintf(
             stderr,
             "profile: %llu cycles simulated in %.3f s wall "
@@ -555,14 +566,21 @@ main(int argc, char** argv)
             "  fetch+alloc      %8.3f s  %5.1f%%  (excl. memory)\n"
             "  memory walk      %8.3f s  %5.1f%%\n"
             "  accounting       %8.3f s  %5.1f%%\n"
-            "  driver/other     %8.3f s  %5.1f%%\n",
+            "  fast_forward     %8.3f s  %5.1f%%\n"
+            "  driver/other     %8.3f s  %5.1f%%\n"
+            "horizon skip: %llu of %llu cycles fast-forwarded "
+            "(horizon_skip_pct %.2f)\n",
             static_cast<unsigned long long>(profiler.cycles),
             run_wall,
             static_cast<unsigned long long>(result.cycles),
             profiler.retireSeconds, pct(profiler.retireSeconds),
             fetch_alloc, pct(fetch_alloc), memory, pct(memory),
             profiler.accountSeconds, pct(profiler.accountSeconds),
-            driver, pct(driver));
+            profiler.fastForwardSeconds,
+            pct(profiler.fastForwardSeconds), driver, pct(driver),
+            static_cast<unsigned long long>(ff_cycles),
+            static_cast<unsigned long long>(result.cycles),
+            skip_pct);
     }
 
     if (tracing) {
