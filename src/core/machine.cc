@@ -2,10 +2,10 @@
 
 namespace jsmt {
 
-Machine::Machine(const SystemConfig& config)
+Machine::Machine(const SystemConfig& config, Cache* shared_l2)
     : _config(config),
       _pmu(),
-      _mem(config.mem, _pmu),
+      _mem(config.mem, _pmu, shared_l2),
       _branch(config.branch, _pmu),
       _scheduler(config.os, _pmu),
       _core(config.core, _mem, _branch, _scheduler, _pmu,

@@ -28,7 +28,14 @@ namespace jsmt {
 class Machine
 {
   public:
-    explicit Machine(const SystemConfig& config);
+    /**
+     * @param shared_l2 optional externally owned L2 replacing this
+     *        machine's private one (multi-core slices share a chip
+     *        L2; see os/allocation). Null keeps the machine fully
+     *        self-contained.
+     */
+    explicit Machine(const SystemConfig& config,
+                     Cache* shared_l2 = nullptr);
 
     Machine(const Machine&) = delete;
     Machine& operator=(const Machine&) = delete;

@@ -23,8 +23,11 @@ Simulation::addProcess(const WorkloadSpec& spec)
     const Asid asid = spec.reuseAsid != 0 ? spec.reuseAsid
                                           : _machine.allocateAsid();
     const std::uint64_t seed =
-        _machine.config().seed ^
-        (static_cast<std::uint64_t>(pid) * 0x9e3779b97f4a7c15ULL);
+        spec.seedOverride != 0
+            ? spec.seedOverride
+            : _machine.config().seed ^
+                  (static_cast<std::uint64_t>(pid) *
+                   0x9e3779b97f4a7c15ULL);
     auto process = std::make_unique<JavaProcess>(
         pid, asid, profile, threads, spec.lengthScale, seed,
         _machine.scheduler(), _machine.pmu());
@@ -38,6 +41,43 @@ Simulation::addProcess(const WorkloadSpec& spec)
     _live.push_back(process.get());
     _processes.push_back(std::move(process));
     return ref;
+}
+
+std::unique_ptr<JavaProcess>
+Simulation::releaseProcess(JavaProcess* process)
+{
+    const auto live = std::find(_live.begin(), _live.end(), process);
+    if (live != _live.end())
+        _live.erase(live);
+    for (auto it = _processes.begin(); it != _processes.end();
+         ++it) {
+        if (it->get() == process) {
+            std::unique_ptr<JavaProcess> owned = std::move(*it);
+            _processes.erase(it);
+            return owned;
+        }
+    }
+    return nullptr;
+}
+
+void
+Simulation::adoptProcess(std::unique_ptr<JavaProcess> process)
+{
+    if (process == nullptr)
+        return;
+    if (!process->complete())
+        _live.push_back(process.get());
+    _processes.push_back(std::move(process));
+}
+
+void
+Simulation::advanceTo(Cycle cycle)
+{
+    if (cycle <= _cycle)
+        return;
+    if (!_live.empty())
+        fatal("simulation: advanceTo with live processes");
+    _cycle = cycle;
 }
 
 bool

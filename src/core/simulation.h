@@ -37,6 +37,15 @@ struct WorkloadSpec
      * initialization excluded).
      */
     Asid reuseAsid = 0;
+    /**
+     * Workload generator seed; 0 derives one from the machine seed
+     * and the process id (the default, and the only behaviour before
+     * multi-core). The multi-core driver passes an explicit seed
+     * derived from the chip-wide launch index so a process generates
+     * the same µop stream no matter which core the allocation policy
+     * placed it on.
+     */
+    std::uint64_t seedOverride = 0;
 };
 
 /**
@@ -105,6 +114,33 @@ class Simulation
      * @return reference owned by the simulation.
      */
     JavaProcess& addProcess(const WorkloadSpec& spec);
+
+    /**
+     * Transfer ownership of @p process out of this simulation: it
+     * leaves the live set (so this driver stops scanning it for
+     * completion) and the owned-process list. Its threads are NOT
+     * detached from this machine's scheduler — the caller does that
+     * via JavaProcess::rebindScheduler. Used by the multi-core
+     * allocation layer to migrate a process to another core.
+     * @return the owning pointer (null if not owned here).
+     */
+    std::unique_ptr<JavaProcess> releaseProcess(JavaProcess* process);
+
+    /**
+     * Adopt a process released from another simulation. It joins
+     * the owned list and, unless complete, the live set; the caller
+     * has already rebound its threads to this machine's scheduler.
+     */
+    void adoptProcess(std::unique_ptr<JavaProcess> process);
+
+    /**
+     * Advance the idle clock to @p cycle (no-op when already past).
+     * Only valid while no process is live — the multi-core driver
+     * uses it to keep an idle core's clock in lockstep with the
+     * other cores so a later launch or migration lands at the same
+     * simulated time everywhere.
+     */
+    void advanceTo(Cycle cycle);
 
     /**
      * Run until every process has completed (or the callback stops

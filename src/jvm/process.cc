@@ -16,7 +16,7 @@ JavaProcess::JavaProcess(ProcessId pid, Asid asid,
       _asid(asid),
       _profile(profile),
       _numAppThreads(num_threads),
-      _scheduler(scheduler),
+      _scheduler(&scheduler),
       _pmu(pmu),
       _heap(profile.gcThresholdBytes)
 {
@@ -51,7 +51,20 @@ JavaProcess::launch(Cycle now)
 {
     _launchCycle = now;
     for (auto& thread : _threads)
-        _scheduler.addThread(thread.get());
+        _scheduler->addThread(thread.get());
+}
+
+void
+JavaProcess::rebindScheduler(Scheduler& scheduler)
+{
+    if (&scheduler == _scheduler)
+        return;
+    Scheduler* const old = _scheduler;
+    _scheduler = &scheduler;
+    for (auto& thread : _threads) {
+        old->removeThread(thread.get());
+        _scheduler->addThread(thread.get());
+    }
 }
 
 bool
@@ -62,7 +75,7 @@ JavaProcess::arriveBarrier(JavaThread& thread)
     if (_barrierWaiters.size() + 1 >= participants) {
         // Last arriver: release everyone.
         for (JavaThread* waiter : _barrierWaiters)
-            _scheduler.wake(waiter);
+            _scheduler->wake(waiter);
         _barrierWaiters.clear();
         return true;
     }
@@ -78,7 +91,7 @@ JavaProcess::releaseBarrierIfComplete()
     if (!_barrierWaiters.empty() &&
         _barrierWaiters.size() >= participants) {
         for (JavaThread* waiter : _barrierWaiters)
-            _scheduler.wake(waiter);
+            _scheduler->wake(waiter);
         _barrierWaiters.clear();
     }
 }
@@ -108,7 +121,7 @@ JavaProcess::monitorRelease(JavaThread& thread)
     _monitorWaiters.pop_front();
     _monitorHolder = next;
     next->grantMonitor();
-    _scheduler.wake(next);
+    _scheduler->wake(next);
 }
 
 bool
@@ -133,7 +146,7 @@ JavaProcess::allocate(std::uint64_t bytes)
         static_cast<double>(_heap.threshold()) *
         _profile.gcUopsPerByte);
     gc.startCollection(work);
-    _scheduler.wake(&gc);
+    _scheduler->wake(&gc);
     return true;
 }
 
@@ -146,7 +159,7 @@ JavaProcess::collectionFinished()
         JavaThread& app = *_threads[t];
         if (app.state() == ThreadState::kBlocked &&
             app.blockReason() == BlockReason::kGc) {
-            _scheduler.wake(&app);
+            _scheduler->wake(&app);
         }
     }
 }

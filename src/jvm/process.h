@@ -137,7 +137,19 @@ class JavaProcess
     Cycle nextEventCycle() const { return kNoCycle; }
 
     /** @return scheduler this process's threads run under. */
-    Scheduler& scheduler() { return _scheduler; }
+    Scheduler& scheduler() { return *_scheduler; }
+
+    /**
+     * Move every thread of this process to @p scheduler (cross-core
+     * migration by the allocation layer). Threads are evicted from
+     * the old scheduler — run queue and contexts — and re-admitted
+     * to the new one, which rebinds their state-epoch cells; all
+     * future wakes (barrier releases, GC, monitor handoffs) route to
+     * the new scheduler. Thread-owned front-end state and dependence
+     * rings travel with the threads, and µops still in flight on the
+     * old core retire there normally.
+     */
+    void rebindScheduler(Scheduler& scheduler);
     /** @return PMU for software-event accounting. */
     Pmu& pmu() { return _pmu; }
 
@@ -148,7 +160,8 @@ class JavaProcess
     Asid _asid;
     WorkloadProfile _profile;
     std::uint32_t _numAppThreads;
-    Scheduler& _scheduler;
+    /** Never null; reseated by rebindScheduler() on migration. */
+    Scheduler* _scheduler;
     Pmu& _pmu;
     Heap _heap;
     std::vector<std::unique_ptr<JavaThread>> _threads;

@@ -83,12 +83,20 @@ dtlbConfig(const MemConfig& config)
 
 } // namespace
 
-MemorySystem::MemorySystem(const MemConfig& config, Pmu& pmu)
+CacheConfig
+MemorySystem::l2CacheConfig(const MemConfig& config)
+{
+    return l2Config(config);
+}
+
+MemorySystem::MemorySystem(const MemConfig& config, Pmu& pmu,
+                           Cache* shared_l2)
     : _config(config),
       _pmu(pmu),
       _traceCache(traceCacheConfig(config)),
       _l1d(l1dConfig(config)),
       _l2(l2Config(config)),
+      _l2use(shared_l2 != nullptr ? shared_l2 : &_l2),
       _itlb(itlbConfig(config)),
       _dtlb(dtlbConfig(config))
 {
@@ -180,7 +188,7 @@ MemorySystem::accessL2Line(Asid asid, Addr paddr, ContextId ctx,
 {
     _pmu.record(EventId::kL2Access, ctx);
     const std::uint32_t port_wait = l2Occupy(now);
-    l2_hit = _l2.access(asid, paddr, ctx);
+    l2_hit = _l2use->access(asid, paddr, ctx);
     if (l2_hit)
         return _config.l2HitCycles + port_wait;
     _pmu.record(EventId::kL2Miss, ctx);
@@ -280,7 +288,7 @@ MemorySystem::flushAll()
 {
     _traceCache.flush();
     _l1d.flush();
-    _l2.flush();
+    _l2use->flush();
     _itlb.flush();
     _dtlb.flush();
     _fsbNextFree = 0;

@@ -92,7 +92,25 @@ struct DataAccessResult
 class MemorySystem
 {
   public:
-    MemorySystem(const MemConfig& config, Pmu& pmu);
+    /**
+     * @param shared_l2 when non-null, this externally owned cache
+     *        replaces the hierarchy's private L2: a multi-core
+     *        machine passes one Cache to every per-core memory
+     *        system so all cores compete for the same capacity
+     *        (ASID-tagged lines make the sharing correct across
+     *        address spaces). FSB/L2-port occupancy cursors stay
+     *        per-core (private bus ports). Null (the default) keeps
+     *        the single-core behaviour bit-identical.
+     */
+    MemorySystem(const MemConfig& config, Pmu& pmu,
+                 Cache* shared_l2 = nullptr);
+
+    /**
+     * @return the geometry the hierarchy uses for its unified L2.
+     * The multi-core machine builds its shared L2 from this so the
+     * externally owned cache matches the private one exactly.
+     */
+    static CacheConfig l2CacheConfig(const MemConfig& config);
 
     /**
      * Switch Hyper-Threading mode: partitions (HT on) or unifies
@@ -149,8 +167,8 @@ class MemorySystem
     const Cache& traceCache() const { return _traceCache; }
     /** @return L1 data cache structure. */
     const Cache& l1d() const { return _l1d; }
-    /** @return unified L2 structure. */
-    const Cache& l2() const { return _l2; }
+    /** @return unified L2 structure (shared one when attached). */
+    const Cache& l2() const { return *_l2use; }
     /** @return instruction TLB. */
     const Tlb& itlb() const { return _itlb; }
     /** @return data TLB. */
@@ -190,6 +208,8 @@ class MemorySystem
     Cache _traceCache;
     Cache _l1d;
     Cache _l2;
+    /** Points at _l2 or at an external shared L2 (multi-core). */
+    Cache* _l2use;
     Tlb _itlb;
     Tlb _dtlb;
     Cycle _fsbNextFree = 0;

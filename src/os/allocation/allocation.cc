@@ -1,0 +1,290 @@
+#include "os/allocation/allocation.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/log.h"
+
+namespace jsmt {
+
+namespace {
+
+constexpr const char* kPolicyNames[] = {
+    "static-pin",
+    "round-robin",
+    "ipc-symbiosis",
+    "l2-footprint",
+};
+
+/**
+ * Relative score spread below which the feedback policies keep the
+ * current placement. Near-identical processes differ in measured IPC
+ * only by seed noise; repairing on that noise would migrate every
+ * epoch and squander exactly the cache affinity the feedback is
+ * supposed to protect.
+ */
+constexpr double kSpreadThreshold = 0.05;
+
+/** @return least-loaded core, ties to the lowest core id. */
+CoreId
+leastLoadedCore(const std::vector<std::uint32_t>& live_load)
+{
+    CoreId best = 0;
+    for (CoreId core = 1; core < live_load.size(); ++core) {
+        if (live_load[core] < live_load[best])
+            best = core;
+    }
+    return best;
+}
+
+/**
+ * Extreme-pairing rebalance shared by the two feedback policies:
+ * sort live processes by @p score descending (ties by launch index,
+ * so equal scores never reorder between epochs) and group the i-th
+ * highest with the i-th lowest. Groups are then mapped to cores
+ * preferring each group's current location, so an unchanged grouping
+ * produces zero migrations.
+ */
+void
+pairExtremes(const EpochView& view,
+             const std::vector<double>& score,
+             std::vector<CoreId>* target)
+{
+    const std::size_t count = view.processes.size();
+    const std::uint32_t cores = view.cores;
+    if (count < 2 || cores < 2)
+        return;
+
+    std::vector<std::size_t> order(count);
+    for (std::size_t i = 0; i < count; ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (score[a] != score[b])
+                      return score[a] > score[b];
+                  return view.processes[a].index <
+                         view.processes[b].index;
+              });
+
+    // Groups of co-located processes (positions into view.processes).
+    std::vector<std::vector<std::size_t>> groups;
+    if (count <= cores) {
+        for (std::size_t i = 0; i < count; ++i)
+            groups.push_back({i});
+    } else if (count <= 2ULL * cores) {
+        // Pair the extremes; the middle of the distribution runs
+        // alone on the cores left over.
+        const std::size_t pairs = count - cores;
+        for (std::size_t i = 0; i < pairs; ++i)
+            groups.push_back({order[i], order[count - 1 - i]});
+        for (std::size_t i = pairs; i < count - pairs; ++i)
+            groups.push_back({order[i]});
+    } else {
+        // Overcommitted chip: deal the sorted list to cores in snake
+        // order, which both balances load and mixes high with low.
+        groups.resize(cores);
+        for (std::size_t i = 0; i < count; ++i) {
+            const std::size_t lap = i / cores;
+            const std::size_t off = i % cores;
+            const std::size_t slot =
+                lap % 2 == 0 ? off : cores - 1 - off;
+            groups[slot].push_back(order[i]);
+        }
+    }
+
+    // Deterministic group order: by the lowest launch index inside
+    // each group (its anchor).
+    std::sort(groups.begin(), groups.end(),
+              [&](const std::vector<std::size_t>& a,
+                  const std::vector<std::size_t>& b) {
+                  return view.processes[a.front()].index <
+                         view.processes[b.front()].index;
+              });
+
+    // Map groups to cores, preferring the anchor's current core so a
+    // stable grouping stays put.
+    std::vector<bool> used(cores, false);
+    for (const std::vector<std::size_t>& group : groups) {
+        std::size_t anchor = group.front();
+        for (const std::size_t pos : group) {
+            if (view.processes[pos].index <
+                view.processes[anchor].index)
+                anchor = pos;
+        }
+        CoreId core = view.processes[anchor].core;
+        if (core >= cores || used[core]) {
+            core = 0;
+            while (core < cores && used[core])
+                ++core;
+            if (core >= cores)
+                return; // More groups than cores: keep placement.
+        }
+        used[core] = true;
+        for (const std::size_t pos : group)
+            (*target)[pos] = core;
+    }
+}
+
+/** @return (max - min) / mean of @p score, 0 when degenerate. */
+double
+relativeSpread(const std::vector<double>& score)
+{
+    if (score.empty())
+        return 0.0;
+    double lo = score.front();
+    double hi = score.front();
+    double sum = 0.0;
+    for (const double s : score) {
+        lo = std::min(lo, s);
+        hi = std::max(hi, s);
+        sum += s;
+    }
+    const double mean = sum / static_cast<double>(score.size());
+    return mean > 0.0 ? (hi - lo) / mean : 0.0;
+}
+
+class StaticPinPolicy final : public AllocationPolicy
+{
+  public:
+    AllocPolicyKind kind() const override
+    {
+        return AllocPolicyKind::kStaticPin;
+    }
+
+    CoreId place(std::uint64_t index, const WorkloadProfile&,
+                 const std::vector<std::uint32_t>& live_load) override
+    {
+        return static_cast<CoreId>(index % live_load.size());
+    }
+
+    bool allowsStealing() const override { return false; }
+};
+
+class RoundRobinPolicy final : public AllocationPolicy
+{
+  public:
+    AllocPolicyKind kind() const override
+    {
+        return AllocPolicyKind::kRoundRobin;
+    }
+
+    CoreId place(std::uint64_t index, const WorkloadProfile&,
+                 const std::vector<std::uint32_t>& live_load) override
+    {
+        return static_cast<CoreId>(index % live_load.size());
+    }
+
+    void rebalance(const EpochView& view,
+                   std::vector<CoreId>* target) override
+    {
+        if (view.cores < 2)
+            return;
+        for (std::size_t i = 0; i < view.processes.size(); ++i) {
+            (*target)[i] = (view.processes[i].core + 1) % view.cores;
+        }
+    }
+};
+
+class IpcSymbiosisPolicy final : public AllocationPolicy
+{
+  public:
+    AllocPolicyKind kind() const override
+    {
+        return AllocPolicyKind::kIpcSymbiosis;
+    }
+
+    CoreId place(std::uint64_t, const WorkloadProfile&,
+                 const std::vector<std::uint32_t>& live_load) override
+    {
+        return leastLoadedCore(live_load);
+    }
+
+    void rebalance(const EpochView& view,
+                   std::vector<CoreId>* target) override
+    {
+        std::vector<double> score;
+        score.reserve(view.processes.size());
+        for (const ProcessView& process : view.processes)
+            score.push_back(process.epochIpc);
+        if (relativeSpread(score) < kSpreadThreshold)
+            return; // All alike: affinity beats repairing.
+        pairExtremes(view, score, target);
+    }
+};
+
+class L2FootprintPolicy final : public AllocationPolicy
+{
+  public:
+    AllocPolicyKind kind() const override
+    {
+        return AllocPolicyKind::kL2Footprint;
+    }
+
+    CoreId place(std::uint64_t, const WorkloadProfile&,
+                 const std::vector<std::uint32_t>& live_load) override
+    {
+        return leastLoadedCore(live_load);
+    }
+
+    void rebalance(const EpochView& view,
+                   std::vector<CoreId>* target) override
+    {
+        // Static scores: the pairing converges after one epoch and
+        // never moves again.
+        std::vector<double> score;
+        score.reserve(view.processes.size());
+        for (const ProcessView& process : view.processes)
+            score.push_back(process.footprintBytes);
+        pairExtremes(view, score, target);
+    }
+};
+
+} // namespace
+
+const char*
+allocPolicyName(AllocPolicyKind kind)
+{
+    return kPolicyNames[static_cast<std::size_t>(kind)];
+}
+
+std::optional<AllocPolicyKind>
+allocPolicyFromName(const std::string& name)
+{
+    for (std::size_t i = 0; i < std::size(kPolicyNames); ++i) {
+        if (name == kPolicyNames[i])
+            return static_cast<AllocPolicyKind>(i);
+    }
+    return std::nullopt;
+}
+
+const std::vector<std::string>&
+allocPolicyNames()
+{
+    static const std::vector<std::string> names(
+        std::begin(kPolicyNames), std::end(kPolicyNames));
+    return names;
+}
+
+void
+AllocationPolicy::rebalance(const EpochView&, std::vector<CoreId>*)
+{
+}
+
+std::unique_ptr<AllocationPolicy>
+makeAllocationPolicy(AllocPolicyKind kind)
+{
+    switch (kind) {
+    case AllocPolicyKind::kStaticPin:
+        return std::make_unique<StaticPinPolicy>();
+    case AllocPolicyKind::kRoundRobin:
+        return std::make_unique<RoundRobinPolicy>();
+    case AllocPolicyKind::kIpcSymbiosis:
+        return std::make_unique<IpcSymbiosisPolicy>();
+    case AllocPolicyKind::kL2Footprint:
+        return std::make_unique<L2FootprintPolicy>();
+    }
+    fatal("allocation: unknown policy kind");
+    return nullptr;
+}
+
+} // namespace jsmt

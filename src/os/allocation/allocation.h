@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Core-allocation policies: which core of a multi-core SMT chip each
+ * Java process runs on, and when the OS migrates it.
+ *
+ * The paper measures one physical Hyper-Threaded core, but its
+ * multiprogrammed methodology (staggered pairs, repeat-relaunch)
+ * generalizes directly to N cores x 2 contexts. This module supplies
+ * the OS half of that generalization: a deterministic placement /
+ * rebalancing interface the multi-core driver (os/allocation/
+ * multi_core.h) consults at process launch and at every allocation
+ * epoch boundary.
+ *
+ * All four policies are pure functions of the epoch view they are
+ * handed — no wall clock, no host randomness — so any multi-core run
+ * is bit-reproducible.
+ */
+
+#ifndef JSMT_OS_ALLOCATION_ALLOCATION_H
+#define JSMT_OS_ALLOCATION_ALLOCATION_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "jvm/profile.h"
+
+namespace jsmt {
+
+/** Identifies one physical core of the simulated chip. */
+using CoreId = std::uint32_t;
+
+/** The built-in allocation policies. */
+enum class AllocPolicyKind : std::uint8_t
+{
+    /**
+     * Pin each process to core (launch index mod cores) forever.
+     * With one core this is exactly the pre-multi-core behaviour:
+     * runs are bit-identical to the single-machine driver.
+     */
+    kStaticPin,
+    /**
+     * Rotate every process one core to the right each epoch. The
+     * classic affinity-blind time-slicer: keeps load balanced but
+     * throws away every core-private working set (trace cache, L1,
+     * BTB) once per epoch — the baseline the feedback policies are
+     * measured against.
+     */
+    kRoundRobin,
+    /**
+     * Symbiotic scheduling by measured IPC: each epoch, sort live
+     * processes by their per-epoch retired-µop rate and co-locate
+     * high-ILP with low-ILP processes, so a core's second context
+     * fills issue slots its partner leaves idle. Placement feedback
+     * comes only from the simulated PMU, and repairing is damped by
+     * a relative-spread threshold so near-identical workloads keep
+     * their (warm) placement.
+     */
+    kIpcSymbiosis,
+    /**
+     * Same extreme-pairing as kIpcSymbiosis but keyed on the static
+     * profile-declared data footprint: pair small-footprint with
+     * large-footprint processes so no core pairing thrashes the
+     * shared L2 with two large working sets at once.
+     */
+    kL2Footprint,
+};
+
+/** @return stable lower-case name of @p kind (CLI value). */
+const char* allocPolicyName(AllocPolicyKind kind);
+
+/** @return kind for a CLI name, or nullopt if unknown. */
+std::optional<AllocPolicyKind>
+allocPolicyFromName(const std::string& name);
+
+/** @return every policy name, in declaration order. */
+const std::vector<std::string>& allocPolicyNames();
+
+/** What a policy may know about one live process at an epoch edge. */
+struct ProcessView
+{
+    /** Chip-wide launch index (0-based, allocation order). */
+    std::uint64_t index = 0;
+    /** Core the process currently runs on. */
+    CoreId core = 0;
+    /** Retired µops per cycle over the epoch just finished. */
+    double epochIpc = 0.0;
+    /** Profile-declared data footprint (shared + per-thread). */
+    double footprintBytes = 0.0;
+};
+
+/** Snapshot handed to AllocationPolicy::rebalance. */
+struct EpochView
+{
+    /** Epochs completed so far (1 on the first rebalance). */
+    std::uint64_t epoch = 0;
+    /** Physical core count of the chip. */
+    std::uint32_t cores = 1;
+    /** Length of the epoch just finished, in cycles. */
+    Cycle epochCycles = 0;
+    /** Live (incomplete) processes, ordered by launch index. */
+    std::vector<ProcessView> processes;
+};
+
+/**
+ * A core-allocation policy. One instance drives one multi-core
+ * simulation; policies may keep state across epochs (kRoundRobin's
+ * rotation is a function of the epoch number alone, so the built-in
+ * policies happen to be stateless).
+ */
+class AllocationPolicy
+{
+  public:
+    virtual ~AllocationPolicy() = default;
+
+    /** @return which built-in policy this is. */
+    virtual AllocPolicyKind kind() const = 0;
+
+    /** @return the policy's CLI name. */
+    const char* name() const { return allocPolicyName(kind()); }
+
+    /**
+     * Choose the core for a process being launched now.
+     * @param index chip-wide launch index (0-based).
+     * @param profile the workload being launched.
+     * @param liveLoad live-process count per core (size = cores).
+     */
+    virtual CoreId place(std::uint64_t index,
+                         const WorkloadProfile& profile,
+                         const std::vector<std::uint32_t>& liveLoad)
+        = 0;
+
+    /**
+     * Decide placements for the next epoch. @p target arrives
+     * preloaded with each process's current core (same order as
+     * view.processes); the policy overwrites entries it wants moved.
+     * The driver turns every changed entry into one migration.
+     */
+    virtual void rebalance(const EpochView& view,
+                           std::vector<CoreId>* target);
+
+    /**
+     * Whether the driver may steal a process for an idle core after
+     * rebalancing. Pinning policies return false.
+     */
+    virtual bool allowsStealing() const { return true; }
+};
+
+/** @return a fresh instance of the built-in policy @p kind. */
+std::unique_ptr<AllocationPolicy>
+makeAllocationPolicy(AllocPolicyKind kind);
+
+} // namespace jsmt
+
+#endif // JSMT_OS_ALLOCATION_ALLOCATION_H

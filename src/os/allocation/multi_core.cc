@@ -1,0 +1,433 @@
+#include "os/allocation/multi_core.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace jsmt {
+
+MultiCoreSystem::MultiCoreSystem(const MultiCoreConfig& config)
+    : _config(config)
+{
+    if (config.cores == 0)
+        fatal("multi-core: cores must be positive");
+    if (config.epochCycles == 0)
+        fatal("multi-core: epochCycles must be positive");
+    // One core needs no shared L2: the slice keeps its private one
+    // and the system is bit-identical to a plain Machine.
+    if (config.cores > 1) {
+        _sharedL2 = std::make_unique<Cache>(
+            MemorySystem::l2CacheConfig(config.system.mem));
+    }
+    _machines.reserve(config.cores);
+    _sims.reserve(config.cores);
+    for (std::uint32_t core = 0; core < config.cores; ++core) {
+        _machines.push_back(std::make_unique<Machine>(
+            config.system, _sharedL2.get()));
+        _sims.push_back(
+            std::make_unique<Simulation>(*_machines.back()));
+    }
+}
+
+void
+MultiCoreSystem::setTraceSink(trace::TraceSink* sink)
+{
+    for (auto& machine : _machines)
+        machine->setTraceSink(sink);
+}
+
+std::uint64_t
+MultiRunResult::coreTotal(EventId id, CoreId core) const
+{
+    std::uint64_t sum = 0;
+    for (ContextId ctx = 0; ctx < kNumContexts; ++ctx)
+        sum += coreEvents[core][ctx][static_cast<std::size_t>(id)];
+    return sum;
+}
+
+std::uint64_t
+MultiRunResult::total(EventId id) const
+{
+    std::uint64_t sum = 0;
+    for (CoreId core = 0; core < coreEvents.size(); ++core)
+        sum += coreTotal(id, core);
+    return sum;
+}
+
+double
+MultiRunResult::ipc() const
+{
+    return cycles > 0 ? static_cast<double>(
+                            total(EventId::kInstrRetired)) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+}
+
+double
+MultiRunResult::uopThroughput() const
+{
+    return cycles > 0 ? static_cast<double>(
+                            total(EventId::kUopsRetired)) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+}
+
+RunResult
+MultiRunResult::toRunResult() const
+{
+    RunResult result;
+    result.cycles = cycles;
+    result.allComplete = allComplete;
+    result.cancelled = cancelled;
+    for (const auto& core : coreEvents) {
+        for (ContextId ctx = 0; ctx < kNumContexts; ++ctx) {
+            for (std::size_t e = 0; e < kNumEventIds; ++e)
+                result.events[ctx][e] += core[ctx][e];
+        }
+    }
+    for (const MultiProcessRecord& record : processes) {
+        ProcessResult pr;
+        pr.pid = record.pid;
+        pr.benchmark = record.benchmark;
+        pr.complete = record.complete;
+        pr.launchCycle = record.launchCycle;
+        pr.completionCycle = record.completionCycle;
+        pr.durationCycles = record.durationCycles;
+        result.processes.push_back(std::move(pr));
+    }
+    return result;
+}
+
+MultiCoreSimulation::MultiCoreSimulation(MultiCoreSystem& system)
+    : _system(system),
+      _policy(makeAllocationPolicy(system.config().policy))
+{
+}
+
+std::vector<std::uint32_t>
+MultiCoreSimulation::liveLoad() const
+{
+    std::vector<std::uint32_t> load(_system.cores(), 0);
+    for (const Tracked& tracked : _tracked) {
+        if (!tracked.process->complete())
+            ++load[tracked.core];
+    }
+    return load;
+}
+
+bool
+MultiCoreSimulation::allComplete() const
+{
+    for (const Tracked& tracked : _tracked) {
+        if (!tracked.process->complete())
+            return false;
+    }
+    return true;
+}
+
+std::uint64_t
+MultiCoreSimulation::retiredUops(const Tracked& tracked) const
+{
+    std::uint64_t sum = 0;
+    for (const auto& thread : tracked.process->threads())
+        sum += thread->retiredUops();
+    return sum;
+}
+
+JavaProcess&
+MultiCoreSimulation::addProcess(const WorkloadSpec& spec)
+{
+    const std::uint64_t index = _tracked.size();
+    const WorkloadProfile& profile =
+        benchmarkProfile(spec.benchmark);
+    const CoreId core = _policy->place(index, profile, liveLoad());
+    if (core >= _system.cores())
+        fatal("allocation: policy placed outside the chip");
+
+    WorkloadSpec slice_spec = spec;
+    // The slices share the asid-indexed L2, so address spaces must
+    // be unique chip-wide; with one core the sequence matches what
+    // Machine::allocateAsid would have produced.
+    if (slice_spec.reuseAsid == 0)
+        slice_spec.reuseAsid = _nextAsid++;
+    // Seed by chip-wide launch index, not slice-local pid, so the
+    // µop stream is invariant under placement. With one core the
+    // two derivations coincide (pid == index + 1).
+    if (slice_spec.seedOverride == 0) {
+        slice_spec.seedOverride =
+            _system.config().system.seed ^
+            ((index + 1) * 0x9e3779b97f4a7c15ULL);
+    }
+
+    JavaProcess& process =
+        _system.simulation(core).addProcess(slice_spec);
+    Tracked tracked;
+    tracked.process = &process;
+    tracked.index = index;
+    tracked.core = core;
+    tracked.initialCore = core;
+    tracked.lastRetired = 0;
+    _tracked.push_back(tracked);
+
+    trace::TraceSink* const sink =
+        _system.machine(core).traceSink();
+    if (sink != nullptr && sink->enabled()) {
+        sink->instantArg(trace::Track::kOs, "alloc_place", _clock,
+                         "core", core);
+    }
+    return process;
+}
+
+void
+MultiCoreSimulation::moveProcess(Tracked& tracked, CoreId to,
+                                 bool steal,
+                                 trace::TraceSink* sink)
+{
+    const CoreId from = tracked.core;
+    std::unique_ptr<JavaProcess> owned =
+        _system.simulation(from).releaseProcess(tracked.process);
+    if (owned == nullptr)
+        fatal("allocation: migrating a process not owned by its "
+              "core");
+    owned->rebindScheduler(_system.machine(to).scheduler());
+    _system.simulation(to).adoptProcess(std::move(owned));
+    tracked.core = to;
+    ++tracked.migrations;
+
+    MigrationRecord record;
+    record.epoch = _epochs;
+    record.process = tracked.index;
+    record.from = from;
+    record.to = to;
+    record.steal = steal;
+    _log.push_back(record);
+    if (steal)
+        ++_steals;
+    else
+        ++_migrations;
+
+    if (sink != nullptr && sink->enabled()) {
+        sink->instantArg(trace::Track::kOs,
+                         steal ? "alloc_steal" : "alloc_migrate",
+                         _clock, "core", to);
+    }
+}
+
+void
+MultiCoreSimulation::reapCompleted()
+{
+    // A process can complete on its old core (in-flight µops retire
+    // there after a migration) while its current slice never sees a
+    // completion event. Re-adopting the finished process prunes it
+    // from that slice's live set so the slice can idle-advance.
+    for (Tracked& tracked : _tracked) {
+        if (tracked.reaped || !tracked.process->complete())
+            continue;
+        Simulation& sim = _system.simulation(tracked.core);
+        sim.adoptProcess(sim.releaseProcess(tracked.process));
+        tracked.reaped = true;
+    }
+}
+
+void
+MultiCoreSimulation::rebalance(Cycle window,
+                               trace::TraceSink* sink)
+{
+    EpochView view;
+    view.epoch = _epochs;
+    view.cores = _system.cores();
+    view.epochCycles = window;
+
+    std::vector<Tracked*> live;
+    for (Tracked& tracked : _tracked) {
+        const std::uint64_t retired = retiredUops(tracked);
+        if (!tracked.process->complete()) {
+            ProcessView pv;
+            pv.index = tracked.index;
+            pv.core = tracked.core;
+            pv.epochIpc =
+                window > 0
+                    ? static_cast<double>(retired -
+                                          tracked.lastRetired) /
+                          static_cast<double>(window)
+                    : 0.0;
+            const WorkloadProfile& profile =
+                tracked.process->profile();
+            pv.footprintBytes =
+                static_cast<double>(profile.sharedBytes) +
+                static_cast<double>(profile.privateBytes) *
+                    tracked.process->numAppThreads();
+            view.processes.push_back(pv);
+            live.push_back(&tracked);
+        }
+        tracked.lastRetired = retired;
+    }
+    if (live.empty())
+        return;
+
+    std::vector<CoreId> target;
+    target.reserve(live.size());
+    for (const Tracked* tracked : live)
+        target.push_back(tracked->core);
+    _policy->rebalance(view, &target);
+
+    for (std::size_t i = 0; i < live.size(); ++i) {
+        if (target[i] >= _system.cores() ||
+            target[i] == live[i]->core)
+            continue;
+        moveProcess(*live[i], target[i], false, sink);
+    }
+
+    // Work stealing: an idle core pulls the youngest process from
+    // the most loaded core, so no core sits empty while another
+    // time-slices.
+    if (!_policy->allowsStealing())
+        return;
+    std::vector<std::uint32_t> load = liveLoad();
+    for (CoreId idle = 0; idle < load.size(); ++idle) {
+        if (load[idle] != 0)
+            continue;
+        CoreId donor = 0;
+        for (CoreId core = 1; core < load.size(); ++core) {
+            if (load[core] > load[donor])
+                donor = core;
+        }
+        if (load[donor] < 2)
+            continue;
+        Tracked* victim = nullptr;
+        for (Tracked* tracked : live) {
+            if (tracked->core != donor)
+                continue;
+            if (victim == nullptr ||
+                tracked->index > victim->index)
+                victim = tracked;
+        }
+        if (victim == nullptr)
+            continue;
+        moveProcess(*victim, idle, true, sink);
+        --load[donor];
+        ++load[idle];
+    }
+}
+
+MultiRunResult
+MultiCoreSimulation::run(const RunOptions& options)
+{
+    const std::uint32_t cores = _system.cores();
+    const Cycle epoch_cycles = _system.config().epochCycles;
+    if (options.trace != nullptr)
+        _system.setTraceSink(options.trace);
+    trace::TraceSink* const sink = _system.machine(0).traceSink();
+
+    // Snapshot PMU raw counts per slice to report chip deltas.
+    std::vector<
+        std::array<std::array<std::uint64_t, kNumEventIds>,
+                   kNumContexts>>
+        baseline(cores);
+    for (CoreId core = 0; core < cores; ++core) {
+        _system.machine(core).core().flushAccounting();
+        for (ContextId ctx = 0; ctx < kNumContexts; ++ctx) {
+            for (std::size_t e = 0; e < kNumEventIds; ++e) {
+                baseline[core][ctx][e] =
+                    _system.machine(core).pmu().raw(
+                        static_cast<EventId>(e), ctx);
+            }
+        }
+    }
+
+    MultiRunResult result;
+    const Cycle start = _clock;
+    const Cycle end = start + options.maxCycles;
+    bool cancelled = options.cancellation != nullptr &&
+                     options.cancellation->cancelled();
+
+    reapCompleted();
+    while (!cancelled && !allComplete() && _clock < end) {
+        const Cycle target = std::min(end, _clock + epoch_cycles);
+        for (CoreId core = 0; core < cores && !cancelled; ++core) {
+            Simulation& sim = _system.simulation(core);
+            bool has_live = false;
+            for (const Tracked& tracked : _tracked) {
+                if (tracked.core == core &&
+                    !tracked.process->complete()) {
+                    has_live = true;
+                    break;
+                }
+            }
+            if (has_live && sim.now() < target) {
+                Simulation::RunOptions slice;
+                slice.maxCycles = target - sim.now();
+                slice.fastForward = options.fastForward;
+                slice.cancellation = options.cancellation;
+                slice.cancelCheckIntervalCycles =
+                    options.cancelCheckIntervalCycles;
+                const RunResult slice_result = sim.run(slice);
+                cancelled = cancelled || slice_result.cancelled;
+            }
+            // Idle (or early-completed) slices keep pace so later
+            // launches and migrations land at the same simulated
+            // time on every core.
+            if (!cancelled)
+                sim.advanceTo(target);
+        }
+        if (cancelled)
+            break;
+        const Cycle window = target - _clock;
+        _clock = target;
+        ++_epochs;
+        reapCompleted();
+        if (!allComplete())
+            rebalance(window, sink);
+    }
+
+    result.cycles = _clock - start;
+    result.allComplete = allComplete();
+    result.cancelled = cancelled;
+    result.epochs = _epochs;
+    result.migrations = _migrations;
+    result.steals = _steals;
+    result.migrationLog = _log;
+    result.coreEvents.resize(cores);
+    for (CoreId core = 0; core < cores; ++core) {
+        _system.machine(core).core().flushAccounting();
+        for (ContextId ctx = 0; ctx < kNumContexts; ++ctx) {
+            for (std::size_t e = 0; e < kNumEventIds; ++e) {
+                result.coreEvents[core][ctx][e] =
+                    _system.machine(core).pmu().raw(
+                        static_cast<EventId>(e), ctx) -
+                    baseline[core][ctx][e];
+            }
+        }
+    }
+    for (const Tracked& tracked : _tracked) {
+        MultiProcessRecord record;
+        record.index = tracked.index;
+        record.pid = tracked.process->pid();
+        record.benchmark = tracked.process->profile().name;
+        record.initialCore = tracked.initialCore;
+        record.finalCore = tracked.core;
+        record.complete = tracked.process->complete();
+        record.launchCycle = tracked.process->launchCycle();
+        record.completionCycle =
+            tracked.process->completionCycle();
+        record.durationCycles = tracked.process->complete()
+                                    ? tracked.process
+                                          ->durationCycles()
+                                    : 0;
+        record.migrations = tracked.migrations;
+        result.processes.push_back(std::move(record));
+    }
+    return result;
+}
+
+std::vector<CoreId>
+MultiCoreSimulation::placement() const
+{
+    std::vector<CoreId> cores;
+    cores.reserve(_tracked.size());
+    for (const Tracked& tracked : _tracked)
+        cores.push_back(tracked.core);
+    return cores;
+}
+
+} // namespace jsmt

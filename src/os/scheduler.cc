@@ -37,6 +37,28 @@ Scheduler::addThread(SoftwareThread* thread)
 }
 
 void
+Scheduler::removeThread(SoftwareThread* thread)
+{
+    const auto it =
+        std::find(_runQueue.begin(), _runQueue.end(), thread);
+    if (it != _runQueue.end())
+        _runQueue.erase(it);
+    for (ContextId ctx = 0; ctx < kNumContexts; ++ctx) {
+        if (_current[ctx] == thread)
+            _current[ctx] = nullptr;
+    }
+    _lastContext.erase(thread);
+    ++_stateEpoch;
+}
+
+std::vector<SoftwareThread*>
+Scheduler::runQueueSnapshot() const
+{
+    return std::vector<SoftwareThread*>(_runQueue.begin(),
+                                        _runQueue.end());
+}
+
+void
 Scheduler::wake(SoftwareThread* thread)
 {
     if (thread->state() != ThreadState::kBlocked)

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <vector>
 
 #include "common/types.h"
 #include "os/software_thread.h"
@@ -58,6 +59,17 @@ class Scheduler
     /** Admit a thread; queued immediately if runnable. */
     void addThread(SoftwareThread* thread);
 
+    /**
+     * Evict a thread from this scheduler: removed from the run
+     * queue, descheduled from any context it occupies, and dropped
+     * from the affinity map. Used by the allocation layer to migrate
+     * a thread to another core's scheduler (the thread keeps its
+     * front-end state; µops it still has in flight on this core
+     * retire normally). The caller re-admits it elsewhere via
+     * addThread, which rebinds the state-epoch cell.
+     */
+    void removeThread(SoftwareThread* thread);
+
     /** Move a blocked thread to the run queue. */
     void wake(SoftwareThread* thread);
 
@@ -73,6 +85,12 @@ class Scheduler
 
     /** @return number of threads waiting in the run queue. */
     std::size_t runQueueDepth() const { return _runQueue.size(); }
+
+    /**
+     * @return the run queue contents in dispatch order (invariant
+     * checks and tests; not used on the simulation hot path).
+     */
+    std::vector<SoftwareThread*> runQueueSnapshot() const;
 
     /**
      * Earliest future cycle at which tick() could act, assuming no

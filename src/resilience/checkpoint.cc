@@ -34,10 +34,19 @@ resultDigest(const RunResult& result)
 
 } // namespace
 
+std::string
+SweepCheckpoint::describeTopology(std::uint32_t cores,
+                                  const std::string& alloc)
+{
+    return "cores=" + std::to_string(cores) + ";alloc=" + alloc;
+}
+
 SweepCheckpoint::SweepCheckpoint(std::string path,
-                                 std::size_t flush_every)
+                                 std::size_t flush_every,
+                                 std::string topology)
     : _path(std::move(path)),
-      _flushEvery(flush_every > 0 ? flush_every : 1)
+      _flushEvery(flush_every > 0 ? flush_every : 1),
+      _topology(std::move(topology))
 {
     loadExisting();
 }
@@ -83,6 +92,27 @@ SweepCheckpoint::loadExisting()
     json::Value root;
     if (!json::parse(text, &root) || !root.isObject())
         return reject();
+
+    // Manifests written before the allocation layer carry no
+    // topology field; they are single-core static-pin by
+    // construction.
+    const json::Value* topology_field = root.field("topology");
+    std::string manifest_topology =
+        topology_field ? json::asString(topology_field)
+                       : std::string();
+    if (manifest_topology.empty())
+        manifest_topology = kDefaultTopology;
+    if (!_topology.empty() && _topology != manifest_topology) {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _manifestTopology = manifest_topology;
+        _topologyMismatch = true;
+        warn("checkpoint: manifest " + _path +
+             " records topology '" + manifest_topology +
+             "' but this run is '" + _topology +
+             "'; refusing to mix entries");
+        return false;
+    }
+
     const json::Value* entries = root.field("entries");
     if (!entries || !entries->isArray())
         return reject();
@@ -107,6 +137,7 @@ SweepCheckpoint::loadExisting()
     }
 
     std::lock_guard<std::mutex> lock(_mutex);
+    _manifestTopology = manifest_topology;
     for (auto& [key, value] : decoded)
         _entries.emplace(std::move(key), std::move(value));
     _resumed = _entries.size();
@@ -148,7 +179,14 @@ SweepCheckpoint::flush()
 bool
 SweepCheckpoint::flushLocked()
 {
-    std::string out = "{\"version\":1,\"entries\":[\n";
+    std::string effective_topology = _topology;
+    if (effective_topology.empty())
+        effective_topology = _manifestTopology.empty()
+                                 ? kDefaultTopology
+                                 : _manifestTopology;
+    std::string out = "{\"version\":1,\"topology\":";
+    json::appendEscaped(out, effective_topology);
+    out += ",\"entries\":[\n";
     {
         bool first = true;
         for (const auto& [key, result] : _entries) {

@@ -40,13 +40,35 @@ class SweepCheckpoint
 {
   public:
     /**
+     * Topology a manifest is assumed to record when it carries no
+     * topology field: every checkpoint written before the
+     * multi-core allocation layer came from a single-core
+     * static-pin sweep.
+     */
+    static constexpr const char* kDefaultTopology =
+        "cores=1;alloc=static-pin";
+
+    /** @return the canonical topology string for a chip shape. */
+    static std::string describeTopology(std::uint32_t cores,
+                                        const std::string& alloc);
+
+    /**
      * Open (or create) the manifest at @p path, loading any valid
      * existing contents. @p flush_every controls how many record()
      * calls may accumulate before an automatic flush (1 = flush on
      * every completion).
+     *
+     * @p topology identifies the machine shape producing the
+     * entries (see describeTopology). When non-empty and the
+     * manifest on disk records a different topology, nothing is
+     * resumed and topologyMismatch() reports true — resuming a
+     * 2-core sweep from a 1-core manifest would silently mix
+     * incomparable measurements. Empty skips the check (legacy
+     * callers) and preserves whatever the manifest records.
      */
     explicit SweepCheckpoint(std::string path,
-                             std::size_t flush_every = 1);
+                             std::size_t flush_every = 1,
+                             std::string topology = "");
     /** Flushes pending entries. */
     ~SweepCheckpoint();
 
@@ -72,6 +94,19 @@ class SweepCheckpoint
     /** @return entries replayed from disk at construction. */
     std::size_t resumed() const { return _resumed; }
 
+    /**
+     * @return whether the manifest on disk was written for a
+     * different topology than this checkpoint's. Callers must
+     * refuse to resume (the entries were not loaded).
+     */
+    bool topologyMismatch() const { return _topologyMismatch; }
+
+    /** @return topology recorded in the loaded manifest ("" none). */
+    const std::string& manifestTopology() const
+    {
+        return _manifestTopology;
+    }
+
     /** Fault-injection override (tests); nullptr = global(). */
     void setFaultPlan(const FaultPlan* plan);
 
@@ -93,6 +128,10 @@ class SweepCheckpoint
     mutable std::mutex _mutex;
     std::string _path;
     std::size_t _flushEvery = 1;
+    /** Topology this checkpoint stamps into the manifest. */
+    std::string _topology;
+    std::string _manifestTopology;
+    bool _topologyMismatch = false;
     std::map<std::string, RunResult> _entries;
     std::size_t _resumed = 0;
     std::size_t _pending = 0;

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 #include <sys/wait.h>
@@ -182,6 +183,113 @@ TEST(CliSweep, ResumedSweepPrintsBitIdenticalStdout)
         manifest + "\" 2>&1 1>/dev/null");
     EXPECT_EQ(chatty.status, 0);
     EXPECT_TRUE(contains(chatty.output, "resumed")) << chatty.output;
+    std::remove(manifest.c_str());
+}
+
+TEST(CliUsage, AllocationFlagsAreValidated)
+{
+    const CommandResult policy = runCommand(
+        binary() + " --cores 2 --alloc not_a_policy 2>&1");
+    EXPECT_EQ(policy.status, kUsageError);
+    EXPECT_TRUE(contains(policy.output, "unknown allocation"))
+        << policy.output;
+    // The valid policy set is printed so the user can self-correct.
+    EXPECT_TRUE(contains(policy.output, "static-pin"))
+        << policy.output;
+    EXPECT_TRUE(contains(policy.output, "ipc-symbiosis"))
+        << policy.output;
+
+    EXPECT_EQ(runCommand(binary() + " --cores 0 2>&1").status,
+              kUsageError);
+    EXPECT_EQ(runCommand(binary() + " --alloc-epoch 0 2>&1").status,
+              kUsageError);
+    // Interval sampling and stage profiling are single-core-only.
+    EXPECT_EQ(runCommand(binary() +
+                         " --cores 2 --sample-interval 1000 2>&1")
+                  .status,
+              kUsageError);
+    // The pair matrix runs a fixed workload list.
+    EXPECT_EQ(runCommand(binary() +
+                         " --pair-matrix --benchmark jess 2>&1")
+                  .status,
+              kUsageError);
+    EXPECT_EQ(runCommand(binary() +
+                         " --pair-matrix --resume m.json 2>&1")
+                  .status,
+              kUsageError);
+}
+
+TEST(CliSweep, ResumeRefusesMismatchedTopology)
+{
+    const std::string manifest =
+        testing::TempDir() + "jsmt_cli_topology_manifest.json";
+    std::remove(manifest.c_str());
+
+    // Write the manifest with the default single-core topology.
+    const CommandResult cold = runCommand(
+        binary() + " --sweep jess --scale 0.02 --resume \"" +
+        manifest + "\" 2>&1");
+    ASSERT_EQ(cold.status, 0) << cold.output;
+
+    // Resuming it on a different chip must refuse with exit 2 and
+    // name both topologies, not silently mix the measurements.
+    const CommandResult mismatch = runCommand(
+        binary() + " --sweep jess --scale 0.02 --cores 2 "
+                   "--alloc round-robin --resume \"" +
+        manifest + "\" 2>&1");
+    EXPECT_EQ(mismatch.status, kUsageError) << mismatch.output;
+    EXPECT_TRUE(contains(mismatch.output, "topology"))
+        << mismatch.output;
+    EXPECT_TRUE(contains(mismatch.output,
+                         "cores=1;alloc=static-pin"))
+        << mismatch.output;
+    EXPECT_TRUE(contains(mismatch.output,
+                         "cores=2;alloc=round-robin"))
+        << mismatch.output;
+
+    // The refused invocation must leave the manifest intact: the
+    // original topology still resumes from it bit-identically.
+    const CommandResult resumed = runCommand(
+        binary() + " --sweep jess --scale 0.02 --resume \"" +
+        manifest + "\" 2>/dev/null");
+    EXPECT_EQ(resumed.status, 0) << resumed.output;
+    std::remove(manifest.c_str());
+}
+
+TEST(CliSweep, MultiCoreSweepCheckpointsItsTopology)
+{
+    const std::string manifest =
+        testing::TempDir() + "jsmt_cli_cores2_manifest.json";
+    std::remove(manifest.c_str());
+    const std::string sweep =
+        binary() + " --sweep compress --scale 0.02 --cores 2 "
+                   "--alloc ipc-symbiosis --resume \"" +
+        manifest + "\"";
+
+    const CommandResult cold = runCommand(sweep + " 2>/dev/null");
+    ASSERT_EQ(cold.status, 0) << cold.output;
+
+    // The manifest records the chip shape it was measured on.
+    std::ifstream in(manifest);
+    ASSERT_TRUE(in.good());
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_TRUE(contains(text, "cores=2;alloc=ipc-symbiosis"))
+        << text;
+
+    // Same topology resumes bit-identically.
+    const CommandResult resumed =
+        runCommand(sweep + " 2>/dev/null");
+    ASSERT_EQ(resumed.status, 0) << resumed.output;
+    EXPECT_EQ(cold.output, resumed.output);
+
+    // The single-core default refuses it.
+    const CommandResult mismatch = runCommand(
+        binary() + " --sweep compress --scale 0.02 --resume \"" +
+        manifest + "\" 2>&1");
+    EXPECT_EQ(mismatch.status, kUsageError) << mismatch.output;
+    EXPECT_TRUE(contains(mismatch.output, "topology"))
+        << mismatch.output;
     std::remove(manifest.c_str());
 }
 

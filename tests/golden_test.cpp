@@ -30,6 +30,8 @@
 #include "common/json.h"
 #include "core/simulation.h"
 #include "jvm/benchmarks.h"
+#include "os/allocation/allocation.h"
+#include "os/allocation/multi_core.h"
 
 namespace jsmt {
 namespace {
@@ -191,18 +193,140 @@ INSTANTIATE_TEST_SUITE_P(
         return param.param;
     });
 
+// ---------------------------------------------------------------
+// Two-core chip baselines.
+//
+// Each benchmark is run as two copies co-scheduled on a 2-core
+// chip (shared L2) under the round-robin and ipc-symbiosis
+// allocation policies, and the chip-wide event totals plus the
+// allocation counters are pinned in
+// tests/golden/<benchmark>.cores2.json. This freezes not just the
+// per-core microarchitecture but the whole placement/migration
+// machinery: a policy ordering change, an epoch accounting slip or
+// a shared-L2 drift all land here as an exact diff.
+// ---------------------------------------------------------------
+
+/** Allocation epoch of the 2-core golden runs (several per run). */
+constexpr Cycle kGoldenEpoch = 20'000;
+
+/** One 2-core golden run: two copies of @p benchmark, one policy. */
+MultiRunResult
+goldenMultiRun(const std::string& benchmark, AllocPolicyKind policy)
+{
+    MultiCoreConfig config;
+    config.system.seed = kGoldenSeed;
+    config.cores = 2;
+    config.policy = policy;
+    config.epochCycles = kGoldenEpoch;
+    MultiCoreSystem system(config);
+    MultiCoreSimulation sim(system);
+    for (int copy = 0; copy < 2; ++copy) {
+        WorkloadSpec spec;
+        spec.benchmark = benchmark;
+        spec.lengthScale = kGoldenScale;
+        sim.addProcess(spec);
+    }
+    const MultiRunResult result = sim.run();
+    EXPECT_TRUE(result.allComplete)
+        << benchmark << " under " << allocPolicyName(policy);
+    return result;
+}
+
+/** Chip-wide event totals plus the allocation counters. */
+EventTotals
+multiTotalsOf(const MultiRunResult& result)
+{
+    EventTotals totals = totalsOf(result.toRunResult());
+    totals.emplace_back("alloc_epochs", result.epochs);
+    totals.emplace_back("alloc_migrations", result.migrations);
+    totals.emplace_back("alloc_steals", result.steals);
+    return totals;
+}
+
+std::string
+goldenMultiDocument(const std::string& benchmark,
+                    const EventTotals& round_robin,
+                    const EventTotals& symbiosis)
+{
+    std::string out = "{\n";
+    out += "  \"version\": 1,\n";
+    out += "  \"benchmark\": \"" + benchmark + "\",\n";
+    out += "  \"cores\": 2,\n";
+    out += "  \"scale\": 0.02,\n";
+    out += "  \"seed\": " + std::to_string(kGoldenSeed) + ",\n";
+    appendMode(out, "round_robin", round_robin);
+    out += ",\n";
+    appendMode(out, "ipc_symbiosis", symbiosis);
+    out += "\n}\n";
+    return out;
+}
+
+class GoldenMultiTest : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(GoldenMultiTest, TwoCoreEventTotalsMatchBaseline)
+{
+    const std::string benchmark = GetParam();
+    const std::string path =
+        goldenDir() + "/" + benchmark + ".cores2.json";
+
+    const EventTotals round_robin = multiTotalsOf(
+        goldenMultiRun(benchmark, AllocPolicyKind::kRoundRobin));
+    const EventTotals symbiosis = multiTotalsOf(
+        goldenMultiRun(benchmark, AllocPolicyKind::kIpcSymbiosis));
+
+    if (std::getenv("JSMT_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream out(path, std::ios::trunc);
+        ASSERT_TRUE(out) << "cannot write " << path;
+        out << goldenMultiDocument(benchmark, round_robin,
+                                   symbiosis);
+        ASSERT_TRUE(out.good());
+        GTEST_SKIP() << "regenerated " << path;
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << "missing baseline " << path
+                    << " (regenerate with the update-golden "
+                       "target)";
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    json::Value root;
+    ASSERT_TRUE(json::parse(buffer.str(), &root))
+        << "baseline is not valid JSON: " << path;
+    ASSERT_TRUE(root.isObject());
+    EXPECT_EQ(json::asNumber(root.field("version")), 1u);
+    EXPECT_EQ(json::asString(root.field("benchmark")), benchmark);
+    EXPECT_EQ(json::asNumber(root.field("cores")), 2u);
+    EXPECT_EQ(json::asNumber(root.field("seed")), kGoldenSeed);
+
+    expectModeMatches(root, "round_robin", round_robin);
+    expectModeMatches(root, "ipc_symbiosis", symbiosis);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, GoldenMultiTest,
+    testing::ValuesIn(benchmarkNames()),
+    [](const testing::TestParamInfo<std::string>& param) {
+        return param.param;
+    });
+
 // The baselines directory must cover exactly the registry: a
 // benchmark added without a baseline (or a baseline for a removed
-// benchmark) is caught here rather than silently skipped.
+// benchmark) is caught here rather than silently skipped. Both the
+// single-core and the 2-core chip baselines are required.
 TEST(GoldenSuite, EveryBenchmarkHasABaseline)
 {
     if (std::getenv("JSMT_UPDATE_GOLDEN") != nullptr)
         GTEST_SKIP() << "regenerating";
     for (const std::string& name : benchmarkNames()) {
-        const std::string path =
-            goldenDir() + "/" + name + ".json";
-        std::ifstream in(path);
-        EXPECT_TRUE(in.good()) << "missing baseline " << path;
+        for (const char* suffix : {".json", ".cores2.json"}) {
+            const std::string path =
+                goldenDir() + "/" + name + suffix;
+            std::ifstream in(path);
+            EXPECT_TRUE(in.good())
+                << "missing baseline " << path;
+        }
     }
 }
 

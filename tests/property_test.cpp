@@ -6,12 +6,19 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
 #include <tuple>
+#include <vector>
 
 #include "core/simulation.h"
 #include "jvm/benchmarks.h"
 #include "jvm/data_model.h"
 #include "mem/cache.h"
+#include "os/allocation/allocation.h"
+#include "os/allocation/multi_core.h"
+#include "resilience/fault_plan.h"
+#include "resilience/supervisor.h"
 
 namespace jsmt {
 namespace {
@@ -234,6 +241,155 @@ TEST_P(ThreadCountTest, WorkScalesWithThreads)
 
 INSTANTIATE_TEST_SUITE_P(ThreadCounts, ThreadCountTest,
                          testing::Values(1u, 2u, 3u, 4u, 8u, 16u));
+
+// ---------------------------------------------------------------
+// OS scheduler invariants under cross-core migration: a thread is
+// never on two contexts at once, and no thread is lost or
+// duplicated across quantum boundaries, epoch edges, or Supervisor
+// cancellation points.
+// ---------------------------------------------------------------
+
+/**
+ * Walk every scheduler of the chip and check thread conservation:
+ * each runnable thread of each launched process occupies exactly
+ * one slot (run queue or context) of exactly one scheduler, and
+ * blocked/done threads occupy none.
+ */
+void
+checkThreadConservation(MultiCoreSystem& system,
+                        MultiCoreSimulation& sim)
+{
+    std::map<const SoftwareThread*, int> seen;
+    for (CoreId core = 0; core < system.cores(); ++core) {
+        Scheduler& scheduler = system.machine(core).scheduler();
+        for (SoftwareThread* thread :
+             scheduler.runQueueSnapshot())
+            ++seen[thread];
+        std::vector<const SoftwareThread*> on_context;
+        for (ContextId ctx = 0; ctx < kNumContexts; ++ctx) {
+            const SoftwareThread* active = scheduler.active(ctx);
+            if (active == nullptr)
+                continue;
+            ++seen[active];
+            // Never the same thread on two contexts of one core.
+            for (const SoftwareThread* other : on_context)
+                ASSERT_NE(active, other) << "core " << core;
+            on_context.push_back(active);
+        }
+    }
+    for (CoreId core = 0; core < system.cores(); ++core) {
+        for (const auto& process :
+             system.simulation(core).processes()) {
+            for (const auto& thread : process->threads()) {
+                const int count = seen[thread.get()];
+                if (thread->state() == ThreadState::kRunnable) {
+                    ASSERT_EQ(count, 1)
+                        << "runnable thread " << thread->id()
+                        << " present " << count << " times";
+                } else {
+                    ASSERT_EQ(count, 0)
+                        << "non-runnable thread " << thread->id()
+                        << " still scheduled";
+                }
+            }
+        }
+    }
+    // Placement sanity: the driver's view stays on the chip.
+    for (const CoreId core : sim.placement())
+        ASSERT_LT(core, system.cores());
+}
+
+TEST(MigrationInvariants, HoldAtEveryEpochUnderEveryPolicy)
+{
+    const std::vector<std::string> mix = {"PseudoJBB", "jess",
+                                          "MolDyn", "db"};
+    for (const std::string& name : allocPolicyNames()) {
+        const auto kind = allocPolicyFromName(name);
+        ASSERT_TRUE(kind.has_value());
+        MultiCoreConfig config;
+        config.system.seed = 7;
+        config.cores = 2;
+        config.policy = *kind;
+        config.epochCycles = 10'000;
+        MultiCoreSystem system(config);
+        MultiCoreSimulation sim(system);
+        for (const std::string& benchmark : mix) {
+            WorkloadSpec spec;
+            spec.benchmark = benchmark;
+            spec.lengthScale = 0.02;
+            sim.addProcess(spec);
+        }
+        checkThreadConservation(system, sim);
+        // Step the run in epoch-sized chunks so the invariants are
+        // probed at every migration and quantum boundary the driver
+        // can produce, not just at completion.
+        MultiRunResult last;
+        for (int chunk = 0; chunk < 2000; ++chunk) {
+            MultiCoreSimulation::RunOptions options;
+            options.maxCycles = config.epochCycles;
+            last = sim.run(options);
+            checkThreadConservation(system, sim);
+            if (last.allComplete)
+                break;
+        }
+        ASSERT_TRUE(last.allComplete) << name;
+    }
+}
+
+TEST(MigrationInvariants, HoldAtSupervisorCancellationPoints)
+{
+    // Supervised multi-core runs with an injected task-delay fault
+    // and a tight wall-clock deadline: the watchdog cancels the
+    // simulation at an arbitrary cancellation-lattice edge. No
+    // matter where the run stopped, the chip's schedulers must
+    // still conserve every thread.
+    resilience::FaultPlan plan;
+    ASSERT_TRUE(
+        resilience::FaultPlan::parse("task-delay=chip@50", &plan));
+    resilience::SupervisorOptions options;
+    options.jobs = 2;
+    options.maxAttempts = 1;
+    options.taskTimeoutSeconds = 0.2;
+    options.faultPlan = &plan;
+    resilience::Supervisor supervisor(options);
+
+    supervisor.run(
+        2,
+        [](std::size_t i) { return "chip" + std::to_string(i); },
+        [&](resilience::TaskContext& ctx) {
+            MultiCoreConfig config;
+            config.system.seed = 11 + ctx.index;
+            config.cores = 2;
+            config.policy = ctx.index == 0
+                                ? AllocPolicyKind::kRoundRobin
+                                : AllocPolicyKind::kIpcSymbiosis;
+            config.epochCycles = 10'000;
+            MultiCoreSystem system(config);
+            MultiCoreSimulation sim(system);
+            for (const char* benchmark :
+                 {"PseudoJBB", "jess", "MolDyn", "db"}) {
+                WorkloadSpec spec;
+                spec.benchmark = benchmark;
+                spec.lengthScale = 0.5;
+                sim.addProcess(spec);
+            }
+            MultiCoreSimulation::RunOptions run;
+            run.cancellation = ctx.token;
+            run.cancelCheckIntervalCycles = 4096;
+            const MultiRunResult result = sim.run(run);
+            // Whether the deadline fired mid-run or the workload
+            // finished first, the invariants must hold here.
+            checkThreadConservation(system, sim);
+            if (result.cancelled) {
+                ASSERT_FALSE(result.allComplete);
+                // A cancelled chip is still consistent: resume
+                // without a token and the workload completes.
+                const MultiRunResult resumed = sim.run();
+                ASSERT_TRUE(resumed.allComplete);
+                checkThreadConservation(system, sim);
+            }
+        });
+}
 
 } // namespace
 } // namespace jsmt

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Coverage regression gate: current vs merge-base summaries.
+
+Compares two coverage.json summaries produced by
+tools/coverage_report.py and fails (exit 1) when the line
+coverage of any gated module dropped below the baseline by more
+than the tolerance. The default gated set is the allocation
+layer's home (src/os) and the simulation core (src/core) -- the
+subsystems whose behaviour the test suite exists to pin.
+
+A missing baseline file passes with a notice: the first run on a
+branch has nothing to regress against. A module present in the
+baseline but absent from the current summary fails -- deleting
+all tests of a subsystem is exactly the regression this gate is
+for.
+
+Usage:
+  coverage_gate.py current.json baseline.json \
+      [--modules src/os src/core] [--tolerance 0.1]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def module_rate(summary: dict, module: str) -> float | None:
+    entry = summary.get("modules", {}).get(module)
+    if entry is None:
+        return None
+    return float(entry.get("line_rate", 0.0))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("baseline")
+    parser.add_argument("--modules", nargs="+",
+                        default=["src/os", "src/core"])
+    parser.add_argument(
+        "--tolerance", type=float, default=0.1,
+        help="allowed drop in percentage points (default 0.1)")
+    args = parser.parse_args()
+
+    current = json.loads(Path(args.current).read_text())
+    baseline_path = Path(args.baseline)
+    if not baseline_path.is_file():
+        print(f"coverage-gate: no baseline at {baseline_path}; "
+              "nothing to regress against, passing")
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+
+    failed = False
+    for module in args.modules:
+        base = module_rate(baseline, module)
+        cur = module_rate(current, module)
+        if base is None:
+            print(f"coverage-gate: {module}: not in baseline, "
+                  "skipping")
+            continue
+        if cur is None:
+            print(f"coverage-gate: {module}: covered at "
+                  f"{100.0 * base:.1f}% in the baseline but "
+                  "absent from the current summary: FAIL")
+            failed = True
+            continue
+        drop = 100.0 * (base - cur)
+        verdict = "FAIL" if drop > args.tolerance else "ok"
+        print(f"coverage-gate: {module}: "
+              f"{100.0 * base:.2f}% -> {100.0 * cur:.2f}% "
+              f"(drop {drop:+.2f}pp, tolerance "
+              f"{args.tolerance:.2f}pp): {verdict}")
+        failed = failed or verdict == "FAIL"
+
+    if failed:
+        print("coverage-gate: line coverage regressed below the "
+              "merge-base; add tests covering the changed code or "
+              "justify the drop", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

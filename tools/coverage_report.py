@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Aggregate gcc --coverage data into lcov + JSON summaries.
+
+Walks a coverage build tree for .gcda files, runs gcov in JSON
+mode on each (no gcovr/lcov dependency -- plain gcov is enough),
+and merges the per-line execution counts by source file. Emits:
+
+  coverage.info  lcov tracefile (SF/DA/LH/LF records), consumable
+                 by genhtml, Coveralls, IDE gutters, etc.
+  coverage.json  per-file and per-module line-coverage summary,
+                 the input format of tools/coverage_gate.py
+
+Only sources under the repository's src/ tree count; system and
+test headers are noise for the gate. A "module" is the first two
+path components of a source (src/os, src/core, ...), so the gate
+can hold exactly the subsystems a change claims to cover.
+
+Usage:
+  coverage_report.py --build-dir build-coverage --source-dir . \
+      [--out-prefix coverage]
+"""
+
+from __future__ import annotations
+
+import argparse
+import gzip
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from collections import defaultdict
+from pathlib import Path
+
+
+def find_gcda(build_dir: Path) -> list[Path]:
+    return sorted(build_dir.rglob("*.gcda"))
+
+
+def run_gcov(gcda: Path, workdir: Path) -> list[dict]:
+    """Run gcov --json-format on one .gcda; return parsed documents."""
+    proc = subprocess.run(
+        ["gcov", "--json-format", "--branch-probabilities",
+         str(gcda)],
+        cwd=workdir,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        check=False,
+    )
+    if proc.returncode != 0:
+        return []
+    docs = []
+    for archive in workdir.glob("*.gcov.json.gz"):
+        try:
+            with gzip.open(archive, "rt", encoding="utf-8") as f:
+                docs.append(json.load(f))
+        except (OSError, json.JSONDecodeError):
+            pass
+        archive.unlink()
+    return docs
+
+
+def module_of(rel: str) -> str:
+    parts = rel.split("/")
+    return "/".join(parts[:2]) if len(parts) >= 2 else parts[0]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build-coverage")
+    parser.add_argument("--source-dir", default=".")
+    parser.add_argument("--out-prefix", default="coverage")
+    args = parser.parse_args()
+
+    build_dir = Path(args.build_dir).resolve()
+    source_dir = Path(args.source_dir).resolve()
+    src_root = source_dir / "src"
+
+    gcda_files = find_gcda(build_dir)
+    if not gcda_files:
+        print(f"coverage: no .gcda files under {build_dir} "
+              "(build with the coverage preset and run the tests "
+              "first)", file=sys.stderr)
+        return 1
+
+    # file -> line -> max execution count across translation units.
+    hits: dict[str, dict[int, int]] = defaultdict(dict)
+    with tempfile.TemporaryDirectory() as tmp:
+        workdir = Path(tmp)
+        for gcda in gcda_files:
+            for doc in run_gcov(gcda, workdir):
+                for entry in doc.get("files", []):
+                    path = Path(entry.get("file", ""))
+                    if not path.is_absolute():
+                        path = (build_dir / path).resolve()
+                    try:
+                        rel = path.resolve().relative_to(source_dir)
+                    except ValueError:
+                        continue
+                    if src_root not in path.resolve().parents:
+                        continue
+                    lines = hits[str(rel)]
+                    for line in entry.get("lines", []):
+                        number = line.get("line_number", 0)
+                        count = line.get("count", 0)
+                        lines[number] = max(
+                            lines.get(number, 0), count)
+
+    files = {}
+    modules: dict[str, dict[str, int]] = defaultdict(
+        lambda: {"covered": 0, "total": 0})
+    total_covered = 0
+    total_lines = 0
+    for rel in sorted(hits):
+        lines = hits[rel]
+        covered = sum(1 for count in lines.values() if count > 0)
+        total = len(lines)
+        files[rel] = {"covered": covered, "total": total}
+        module = module_of(rel)
+        modules[module]["covered"] += covered
+        modules[module]["total"] += total
+        total_covered += covered
+        total_lines += total
+
+    # lcov tracefile.
+    info_path = Path(args.out_prefix + ".info")
+    with info_path.open("w", encoding="utf-8") as out:
+        out.write("TN:jsmt\n")
+        for rel, lines in sorted(hits.items()):
+            out.write(f"SF:{source_dir / rel}\n")
+            for number in sorted(lines):
+                out.write(f"DA:{number},{lines[number]}\n")
+            covered = files[rel]["covered"]
+            out.write(f"LH:{covered}\nLF:{len(lines)}\n")
+            out.write("end_of_record\n")
+
+    summary = {
+        "line_rate": (total_covered / total_lines
+                      if total_lines else 0.0),
+        "covered": total_covered,
+        "total": total_lines,
+        "modules": {
+            name: {
+                **counts,
+                "line_rate": (counts["covered"] / counts["total"]
+                              if counts["total"] else 0.0),
+            }
+            for name, counts in sorted(modules.items())
+        },
+        "files": files,
+    }
+    json_path = Path(args.out_prefix + ".json")
+    json_path.write_text(json.dumps(summary, indent=2) + "\n",
+                         encoding="utf-8")
+
+    print(f"coverage: {total_covered}/{total_lines} lines "
+          f"({100.0 * summary['line_rate']:.1f}%) across "
+          f"{len(files)} files -> {info_path}, {json_path}")
+    for name, counts in sorted(modules.items()):
+        rate = (counts["covered"] / counts["total"]
+                if counts["total"] else 0.0)
+        print(f"  {name:<16} {counts['covered']:>6}/"
+              f"{counts['total']:<6} {100.0 * rate:5.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

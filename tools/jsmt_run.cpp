@@ -12,6 +12,25 @@
  *                                  second one makes the run
  *                                  multiprogrammed)
  *     --ht on|off                  Hyper-Threading (default on)
+ *     --cores N                    physical cores of the chip
+ *                                  (default 1; N > 1 shares the L2
+ *                                  across cores and enables process
+ *                                  migration between them)
+ *     --alloc POLICY               core-allocation policy:
+ *                                  static-pin | round-robin |
+ *                                  ipc-symbiosis | l2-footprint
+ *                                  (default static-pin)
+ *     --alloc-epoch N              allocation epoch in cycles
+ *                                  (default 200000); cores run
+ *                                  independently for one epoch, then
+ *                                  rebalance
+ *     --pair-matrix                run the canonical pair matrix
+ *                                  (the ten identical benchmark
+ *                                  pairs, 2 x cores processes per
+ *                                  cell) under --alloc and print the
+ *                                  per-cell throughput table
+ *     --pair-matrix-full           like --pair-matrix but all 55
+ *                                  unordered benchmark combinations
  *     --dynamic-partition          use the paper's SS4.3 proposal
  *                                  instead of the P4's static split
  *     --scale S                    length multiplier (default 0.5)
@@ -46,7 +65,11 @@
  *                                  measured HT-off and HT-on
  *     --resume MANIFEST            checkpoint the sweep to MANIFEST
  *                                  and resume completed points from
- *                                  it (created if missing)
+ *                                  it (created if missing); the
+ *                                  manifest records the chip
+ *                                  topology (--cores/--alloc), and
+ *                                  resuming under a different
+ *                                  topology is refused (exit 2)
  *     --task-timeout SEC           per-task wall-clock deadline for
  *                                  supervised runs (0 = none; also
  *                                  JSMT_TASK_TIMEOUT)
@@ -89,6 +112,9 @@
 #include "harness/solo.h"
 #include "harness/table.h"
 #include "jvm/benchmarks.h"
+#include "os/allocation/allocation.h"
+#include "os/allocation/multi_core.h"
+#include "os/allocation/pair_matrix.h"
 #include "pmu/abyss.h"
 #include "pmu/sampler.h"
 #include "resilience/checkpoint.h"
@@ -120,6 +146,16 @@ struct Options
     bool profile = false;
     std::string traceFile;
     std::string metricsFile;
+    /** Physical cores (>1 routes through the multi-core driver). */
+    std::uint32_t cores = 1;
+    /** Core-allocation policy. */
+    AllocPolicyKind alloc = AllocPolicyKind::kStaticPin;
+    /** Allocation epoch in cycles (0 = MultiCoreConfig default). */
+    Cycle allocEpoch = 0;
+    /** Pair-matrix sweep mode (canonical ten identical pairs). */
+    bool pairMatrix = false;
+    /** Pair-matrix over all 55 unordered combinations. */
+    bool pairMatrixFull = false;
     /** Benchmarks of a --sweep run (empty = single-run mode). */
     std::vector<std::string> sweep;
     /** Checkpoint manifest for --sweep (empty = no checkpoint). */
@@ -135,6 +171,9 @@ constexpr const char* kFlagSummary =
     "[--ht on|off]\n"
     "                [--dynamic-partition] [--scale S] "
     "[--seed N]\n"
+    "                [--cores N] [--alloc POLICY] "
+    "[--alloc-epoch N]\n"
+    "                [--pair-matrix] [--pair-matrix-full]\n"
     "                [--events a,b,c] "
     "[--sample-interval N]\n"
     "                [--no-fast-forward] [--profile]\n"
@@ -157,6 +196,17 @@ unknownBenchmark(const std::string& name)
     std::cerr << "unknown benchmark '" << name
               << "'; valid benchmarks:";
     for (const auto& valid : benchmarkNames())
+        std::cerr << ' ' << valid;
+    std::cerr << '\n';
+    std::exit(kUsageError);
+}
+
+[[noreturn]] void
+unknownPolicy(const std::string& name)
+{
+    std::cerr << "unknown allocation policy '" << name
+              << "'; valid policies:";
+    for (const auto& valid : allocPolicyNames())
         std::cerr << ' ' << valid;
     std::cerr << '\n';
     std::exit(kUsageError);
@@ -247,6 +297,31 @@ parseArgs(int argc, char** argv)
             options.scale = doubleArg(arg, next());
         } else if (arg == "--seed") {
             options.seed = uintArg(arg, next());
+        } else if (arg == "--cores") {
+            const std::uint64_t cores = uintArg(arg, next());
+            if (cores < 1 || cores > 64) {
+                std::cerr << "--cores must be in [1, 64]\n";
+                std::exit(kUsageError);
+            }
+            options.cores = static_cast<std::uint32_t>(cores);
+        } else if (arg == "--alloc") {
+            const std::string value = next();
+            const auto kind = allocPolicyFromName(value);
+            if (!kind)
+                unknownPolicy(value);
+            options.alloc = *kind;
+        } else if (arg == "--alloc-epoch") {
+            options.allocEpoch =
+                static_cast<Cycle>(uintArg(arg, next()));
+            if (options.allocEpoch == 0) {
+                std::cerr << "--alloc-epoch must be positive\n";
+                std::exit(kUsageError);
+            }
+        } else if (arg == "--pair-matrix") {
+            options.pairMatrix = true;
+        } else if (arg == "--pair-matrix-full") {
+            options.pairMatrix = true;
+            options.pairMatrixFull = true;
         } else if (arg == "--events") {
             options.eventNames = splitCommas(next());
         } else if (arg == "--sample-interval") {
@@ -307,6 +382,26 @@ parseArgs(int argc, char** argv)
     }
     if (options.traceFile.empty())
         options.traceFile = envPath("JSMT_TRACE");
+    if (options.pairMatrix) {
+        if (!options.workloads.empty() ||
+            !options.sweep.empty()) {
+            std::cerr << "--pair-matrix runs the fixed pairing "
+                         "list; it cannot be combined with "
+                         "--benchmark or --sweep\n";
+            std::exit(kUsageError);
+        }
+        if (!options.resumePath.empty()) {
+            std::cerr << "--resume is not supported with "
+                         "--pair-matrix\n";
+            std::exit(kUsageError);
+        }
+    }
+    if (options.cores > 1 &&
+        (options.sampleInterval > 0 || options.profile)) {
+        std::cerr << "--sample-interval and --profile require "
+                     "--cores 1\n";
+        std::exit(kUsageError);
+    }
     if (options.workloads.empty()) {
         WorkloadSpec spec;
         spec.benchmark = "PseudoJBB";
@@ -320,11 +415,44 @@ parseArgs(int argc, char** argv)
 }
 
 /**
+ * Measure one sweep point on a multi-core chip: the benchmark runs
+ * solo (one process) on an N-core chip under the selected policy,
+ * and the chip-wide measurement is folded into the single-machine
+ * RunResult shape so it flows through the same checkpoint and
+ * reporting paths as a single-core sweep.
+ */
+RunResult
+measureMultiSolo(const Options& options, SystemConfig config,
+                 const std::string& benchmark, bool ht,
+                 const resilience::CancellationToken* cancel)
+{
+    config.hyperThreading = ht;
+    MultiCoreConfig chip;
+    chip.system = config;
+    chip.cores = options.cores;
+    chip.policy = options.alloc;
+    if (options.allocEpoch > 0)
+        chip.epochCycles = options.allocEpoch;
+    MultiCoreSystem system(chip);
+    MultiCoreSimulation sim(system);
+    WorkloadSpec spec;
+    spec.benchmark = benchmark;
+    spec.lengthScale = options.scale;
+    sim.addProcess(spec);
+    MultiCoreSimulation::RunOptions run_options;
+    run_options.fastForward = options.fastForward;
+    run_options.cancellation = cancel;
+    return sim.run(run_options).toRunResult();
+}
+
+/**
  * --sweep mode: measure each named benchmark HT-off and HT-on under
  * a Supervisor, optionally checkpointed to --resume MANIFEST. The
  * stdout table is a pure function of the completed measurements, so
  * a killed-and-resumed sweep prints bit-identical output to an
- * uninterrupted one.
+ * uninterrupted one. The manifest records the chip topology;
+ * resuming under a different --cores/--alloc is refused so two
+ * incomparable machine shapes can never mix in one table.
  */
 int
 runSweep(const Options& options,
@@ -335,11 +463,24 @@ runSweep(const Options& options,
     if (options.dynamicPartition)
         config.core.partitionPolicy = PartitionPolicy::kDynamic;
 
+    const std::string topology =
+        resilience::SweepCheckpoint::describeTopology(
+            options.cores, allocPolicyName(options.alloc));
+    const bool multi_core = options.cores > 1;
+
     resilience::Supervisor supervisor(options.supervision);
     std::unique_ptr<resilience::SweepCheckpoint> checkpoint;
     if (!options.resumePath.empty()) {
         checkpoint = std::make_unique<resilience::SweepCheckpoint>(
-            options.resumePath);
+            options.resumePath, 1, topology);
+        if (checkpoint->topologyMismatch()) {
+            std::cerr << "sweep: manifest " << options.resumePath
+                      << " was written for topology '"
+                      << checkpoint->manifestTopology()
+                      << "' but this run is '" << topology
+                      << "'; use a fresh --resume manifest\n";
+            return kUsageError;
+        }
         if (checkpoint->resumed() > 0) {
             std::cerr << "sweep: resumed "
                       << checkpoint->resumed()
@@ -361,15 +502,22 @@ runSweep(const Options& options,
             const bool ht = (ctx.index % 2) == 1;
             SoloOptions solo;
             solo.lengthScale = options.scale;
+            // Multi-core keys embed the topology so a chip
+            // measurement can never replay a single-core memo.
             const std::string key =
-                soloRunKey(config, benchmark, ht, solo);
+                soloRunKey(config, benchmark, ht, solo) +
+                (multi_core ? "|topo=" + topology : "");
             if (checkpoint != nullptr &&
                 checkpoint->lookup(key, &results[ctx.index])) {
                 return;
             }
             solo.cancel = ctx.token;
             results[ctx.index] =
-                measureSoloCached(config, benchmark, ht, solo);
+                multi_core
+                    ? measureMultiSolo(options, config, benchmark,
+                                       ht, ctx.token)
+                    : measureSoloCached(config, benchmark, ht,
+                                        solo);
             if (checkpoint != nullptr)
                 checkpoint->record(key, results[ctx.index]);
         });
@@ -416,6 +564,277 @@ runSweep(const Options& options,
     return report.ok() ? 0 : 1;
 }
 
+/**
+ * Register the allocation counters on @p collector's registry and
+ * baseline them at zero, so the exported totals are exactly the
+ * run's epoch/migration/steal counts.
+ */
+struct AllocCounterIds
+{
+    std::size_t epochs = 0;
+    std::size_t migrations = 0;
+    std::size_t steals = 0;
+};
+
+AllocCounterIds
+registerAllocCounters(trace::MetricsCollector& collector)
+{
+    trace::MetricsRegistry& registry = collector.registry();
+    AllocCounterIds ids;
+    ids.epochs = registry.addCounter("alloc", "epochs");
+    ids.migrations = registry.addCounter("alloc", "migrations");
+    ids.steals = registry.addCounter("alloc", "steals");
+    registry.setCounter(ids.epochs, 0);
+    registry.setCounter(ids.migrations, 0);
+    registry.setCounter(ids.steals, 0);
+    return ids;
+}
+
+void
+setAllocCounters(trace::MetricsCollector& collector,
+                 const AllocCounterIds& ids, std::uint64_t epochs,
+                 std::uint64_t migrations, std::uint64_t steals)
+{
+    trace::MetricsRegistry& registry = collector.registry();
+    registry.setCounter(ids.epochs, epochs);
+    registry.setCounter(ids.migrations, migrations);
+    registry.setCounter(ids.steals, steals);
+}
+
+/**
+ * --pair-matrix mode: co-schedule every pairing of the workload
+ * profiles (2 x cores processes per cell) on the configured chip
+ * under the selected policy and print per-cell chip throughput plus
+ * the aggregate. The cell list and every cell are deterministic, so
+ * the table is bit-identical across runs and job counts.
+ */
+int
+runPairMatrixMode(const Options& options)
+{
+    SystemConfig config;
+    config.hyperThreading = options.hyperThreading;
+    config.seed = options.seed;
+    if (options.dynamicPartition)
+        config.core.partitionPolicy = PartitionPolicy::kDynamic;
+
+    PairMatrixOptions matrix;
+    matrix.cores = options.cores;
+    matrix.policy = options.alloc;
+    matrix.lengthScale = options.scale;
+    matrix.epochCycles = options.allocEpoch;
+    matrix.identicalOnly = !options.pairMatrixFull;
+
+    const std::vector<PairMatrixCell> cells =
+        runPairMatrix(config, matrix);
+
+    std::cout << "pair-matrix: " << cells.size()
+              << " pairing(s), " << options.cores << " core(s), "
+              << "policy " << allocPolicyName(options.alloc)
+              << ", HT "
+              << (options.hyperThreading ? "on" : "off")
+              << ", scale " << options.scale << ", seed "
+              << options.seed << "\n\n";
+
+    TextTable table({"pair", "cycles", "uops", "uops/cycle", "IPC",
+                     "epochs", "migrations", "steals"});
+    double throughput_sum = 0.0;
+    std::uint64_t epochs = 0;
+    std::uint64_t migrations = 0;
+    std::uint64_t steals = 0;
+    bool all_complete = true;
+    for (const PairMatrixCell& cell : cells) {
+        const MultiRunResult& result = cell.result;
+        all_complete = all_complete && result.allComplete;
+        throughput_sum += cell.uopThroughput;
+        epochs += result.epochs;
+        migrations += result.migrations;
+        steals += result.steals;
+        table.addRow(
+            {cell.a + "+" + cell.b, TextTable::fmt(result.cycles),
+             TextTable::fmt(result.total(EventId::kUopsRetired)),
+             TextTable::fmt(cell.uopThroughput, 3),
+             TextTable::fmt(result.ipc(), 3),
+             TextTable::fmt(result.epochs),
+             TextTable::fmt(result.migrations),
+             TextTable::fmt(result.steals)});
+    }
+    table.print(std::cout);
+    std::cout << "\naggregate: mean throughput "
+              << TextTable::fmt(
+                     cells.empty()
+                         ? 0.0
+                         : throughput_sum /
+                               static_cast<double>(cells.size()),
+                     3)
+              << " uops/cycle, " << migrations << " migration(s), "
+              << steals << " steal(s)"
+              << (all_complete ? "" : "  [INCOMPLETE]") << '\n';
+
+    if (!options.metricsFile.empty()) {
+        Machine machine(config);
+        trace::MetricsCollector collector(machine);
+        const AllocCounterIds ids =
+            registerAllocCounters(collector);
+        setAllocCounters(collector, ids, epochs, migrations,
+                         steals);
+        collector.collect(0);
+        std::ofstream out(options.metricsFile, std::ios::trunc);
+        if (!out) {
+            std::cerr << "cannot write metrics file '"
+                      << options.metricsFile << "'\n";
+            return 1;
+        }
+        collector.writeJson(out);
+    }
+    return all_complete ? 0 : 1;
+}
+
+/**
+ * --cores N single-run mode: the requested workloads run together
+ * on an N-core chip under the selected policy. Reporting mirrors
+ * the single-core path (folded counters table) plus the allocation
+ * counters and per-process placement. Multi-core runs always
+ * simulate (no run-cache memo).
+ */
+int
+runMulti(const Options& options,
+         const std::vector<EventId>& events)
+{
+    MultiCoreConfig chip;
+    chip.system.hyperThreading = options.hyperThreading;
+    chip.system.seed = options.seed;
+    if (options.dynamicPartition)
+        chip.system.core.partitionPolicy =
+            PartitionPolicy::kDynamic;
+    chip.cores = options.cores;
+    chip.policy = options.alloc;
+    if (options.allocEpoch > 0)
+        chip.epochCycles = options.allocEpoch;
+
+    MultiCoreSystem system(chip);
+
+    const bool tracing = !options.traceFile.empty();
+    trace::TraceSink sink;
+    if (tracing) {
+        sink.setEnabled(true);
+        system.setTraceSink(&sink);
+    }
+
+    MultiCoreSimulation sim(system);
+    for (const auto& spec : options.workloads)
+        sim.addProcess(spec);
+
+    // The collector is bound to slice 0; the chip-wide PMU picture
+    // comes from the folded RunResult below, while the registry
+    // carries the allocation counters.
+    std::unique_ptr<trace::MetricsCollector> collector;
+    AllocCounterIds alloc_ids;
+    if (!options.metricsFile.empty()) {
+        collector = std::make_unique<trace::MetricsCollector>(
+            system.machine(0));
+        alloc_ids = registerAllocCounters(*collector);
+    }
+
+    MultiCoreSimulation::RunOptions run_options;
+    run_options.fastForward = options.fastForward;
+    run_options.trace = tracing ? &sink : nullptr;
+    const MultiRunResult multi = sim.run(run_options);
+    const RunResult result = multi.toRunResult();
+
+    if (tracing) {
+        std::ofstream out(options.traceFile, std::ios::trunc);
+        if (!out) {
+            std::cerr << "cannot write trace file '"
+                      << options.traceFile << "'\n";
+            return 1;
+        }
+        sink.writeChromeTrace(out);
+    }
+    if (collector) {
+        setAllocCounters(*collector, alloc_ids, multi.epochs,
+                         multi.migrations, multi.steals);
+        collector->collect(sim.now());
+        std::ofstream out(options.metricsFile, std::ios::trunc);
+        if (!out) {
+            std::cerr << "cannot write metrics file '"
+                      << options.metricsFile << "'\n";
+            return 1;
+        }
+        collector->writeJson(out);
+    }
+
+    std::cout << "machine: " << options.cores
+              << " cores (shared L2), HT "
+              << (options.hyperThreading ? "on" : "off")
+              << (options.dynamicPartition
+                      ? ", dynamic partitioning"
+                      : ", static partitioning (P4)")
+              << ", alloc " << allocPolicyName(options.alloc)
+              << " (epoch " << chip.epochCycles << " cycles)"
+              << ", seed " << options.seed;
+    if (tracing) {
+        std::cout << ", tracing on -> " << options.traceFile << " ("
+                  << sink.size() << " events";
+        if (sink.dropped() > 0)
+            std::cout << ", " << sink.dropped() << " dropped";
+        std::cout << ')';
+    } else {
+        std::cout << ", tracing off";
+    }
+    if (collector)
+        std::cout << ", metrics -> " << options.metricsFile;
+    std::cout << "\n"
+              << "run: " << multi.cycles << " cycles, "
+              << multi.total(EventId::kUopsRetired)
+              << " uops retired, IPC "
+              << TextTable::fmt(multi.ipc(), 3) << ", throughput "
+              << TextTable::fmt(multi.uopThroughput(), 3)
+              << " uops/cycle"
+              << (multi.allComplete ? "" : "  [INCOMPLETE]")
+              << "\n"
+              << "alloc: " << multi.epochs << " epoch(s), "
+              << multi.migrations << " migration(s), "
+              << multi.steals << " steal(s)\n\n";
+
+    TextTable processes({"pid", "benchmark", "cores", "migrations",
+                         "complete", "duration (cycles)"});
+    for (const auto& pr : multi.processes) {
+        const std::string cores_cell =
+            pr.initialCore == pr.finalCore
+                ? std::to_string(pr.initialCore)
+                : std::to_string(pr.initialCore) + "->" +
+                      std::to_string(pr.finalCore);
+        processes.addRow({std::to_string(pr.pid), pr.benchmark,
+                          cores_cell, TextTable::fmt(pr.migrations),
+                          pr.complete ? "yes" : "no",
+                          TextTable::fmt(pr.durationCycles)});
+    }
+    processes.print(std::cout);
+
+    std::cout << "\ncounters (summed across cores):\n";
+    TextTable counters({"event", "lcpu0", "lcpu1", "total",
+                        "/1K instr"});
+    const auto instr =
+        static_cast<double>(result.total(EventId::kInstrRetired));
+    for (const EventId event : events) {
+        counters.addRow(
+            {std::string(eventName(event)),
+             TextTable::fmt(result.event(event, 0)),
+             TextTable::fmt(result.event(event, 1)),
+             TextTable::fmt(result.total(event)),
+             TextTable::fmt(
+                 instr > 0
+                     ? 1000.0 *
+                           static_cast<double>(
+                               result.total(event)) /
+                           instr
+                     : 0.0,
+                 3)});
+    }
+    counters.print(std::cout);
+    return multi.allComplete ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -435,6 +854,9 @@ main(int argc, char** argv)
         events.push_back(*id);
     }
 
+    if (options.pairMatrix)
+        return runPairMatrixMode(options);
+
     if (!options.sweep.empty()) {
         for (const std::string& name : options.sweep) {
             if (!isBenchmark(name))
@@ -448,6 +870,9 @@ main(int argc, char** argv)
             unknownBenchmark(spec.benchmark);
         spec.lengthScale = options.scale;
     }
+
+    if (options.cores > 1)
+        return runMulti(options, events);
 
     SystemConfig config;
     config.hyperThreading = options.hyperThreading;
