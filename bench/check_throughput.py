@@ -19,12 +19,24 @@ Three classes of check, with very different tolerances:
   or the memoized cache walks each cost well over 2x — while staying
   deaf to runner variance.
 
-* Tracing overhead (trace_overhead_pct): absolute budget, default
-  2%. This is an A/B measured within the same process on the same
-  host, so it is machine-independent; negative values (noise) pass.
+* Tracing overhead (trace_overhead_pct, multicore_trace_overhead_pct):
+  absolute budget, default 2%. These are A/Bs measured within the
+  same process on the same host, so they are machine-independent;
+  negative values (noise) pass.
+
+* Step-thread scaling (step_scaling_4t): wall-clock speedup of the
+  4-core stepping engine at 4 workers over the serial reference,
+  enforced (default floor 1.8x) only when the *current* host reports
+  >= 4 CPUs — a 1- or 2-CPU runner cannot physically scale, and its
+  honest sub-1.0 number would only measure the runner.
+
+Multicore fields were added after the first baselines were
+committed; when the baseline lacks them, those checks are skipped so
+old baselines keep validating new builds.
 
 Usage: check_throughput.py BASELINE CURRENT [--tolerance FRAC]
                                             [--trace-budget PCT]
+                                            [--scaling-floor X]
 """
 
 import argparse
@@ -51,36 +63,69 @@ def main():
     parser.add_argument("--trace-budget", type=float, default=2.0,
                         help="max disabled-tracer overhead in "
                              "percent (default 2.0)")
+    parser.add_argument("--scaling-floor", type=float, default=1.8,
+                        help="min step_scaling_4t speedup when the "
+                             "current host has >= 4 CPUs "
+                             "(default 1.8)")
     args = parser.parse_args()
 
     base = load_summary(args.baseline)
     cur = load_summary(args.current)
     failures = []
 
-    for key in ("pairs", "scale", "cycles", "serial_cycles"):
+    exact_keys = ["pairs", "scale", "cycles", "serial_cycles"]
+    if "multicore_cycles" in base and "multicore_cycles" in cur:
+        exact_keys.append("multicore_cycles")
+    for key in exact_keys:
         if base[key] != cur[key]:
             failures.append(
                 f"{key}: {cur[key]} != baseline {base[key]} "
                 "(simulated work must be bit-identical)")
 
-    floor = base["serial_mcycles_per_sec"] * (1.0 - args.tolerance)
-    if cur["serial_mcycles_per_sec"] < floor:
-        failures.append(
-            "serial_mcycles_per_sec: "
-            f"{cur['serial_mcycles_per_sec']:.2f} below floor "
-            f"{floor:.2f} (baseline "
-            f"{base['serial_mcycles_per_sec']:.2f}, tolerance "
-            f"{args.tolerance:.0%})")
+    throughput_keys = ["serial_mcycles_per_sec"]
+    if ("multicore_mcycles_per_sec" in base
+            and "multicore_mcycles_per_sec" in cur):
+        throughput_keys.append("multicore_mcycles_per_sec")
+    for key in throughput_keys:
+        floor = base[key] * (1.0 - args.tolerance)
+        if cur[key] < floor:
+            failures.append(
+                f"{key}: {cur[key]:.2f} below floor {floor:.2f} "
+                f"(baseline {base[key]:.2f}, tolerance "
+                f"{args.tolerance:.0%})")
 
-    if cur["trace_overhead_pct"] > args.trace_budget:
-        failures.append(
-            f"trace_overhead_pct: {cur['trace_overhead_pct']:.2f} "
-            f"exceeds the {args.trace_budget:.1f}% budget")
+    trace_keys = ["trace_overhead_pct"]
+    if "multicore_trace_overhead_pct" in cur:
+        trace_keys.append("multicore_trace_overhead_pct")
+    for key in trace_keys:
+        if cur[key] > args.trace_budget:
+            failures.append(
+                f"{key}: {cur[key]:.2f} exceeds the "
+                f"{args.trace_budget:.1f}% budget")
+
+    # The scaling gate is conditioned on the *current* host: the
+    # measurement is honest everywhere, but only a host with real
+    # parallelism can be required to show a speedup.
+    if "step_scaling_4t" in cur:
+        host_cpus = int(cur.get("host_cpus", 0))
+        if host_cpus >= 4:
+            if cur["step_scaling_4t"] < args.scaling_floor:
+                failures.append(
+                    f"step_scaling_4t: {cur['step_scaling_4t']:.2f}"
+                    f" below the {args.scaling_floor:.1f}x floor "
+                    f"on a {host_cpus}-CPU host")
+        else:
+            print(f"note: host has {host_cpus} CPUs; "
+                  "step_scaling_4t floor not enforced")
 
     print(f"{'metric':<28}{'baseline':>14}{'current':>14}")
     for key in ("cycles", "serial_cycles", "mcycles_per_sec",
-                "serial_mcycles_per_sec", "trace_overhead_pct"):
-        print(f"{key:<28}{base[key]:>14}{cur[key]:>14}")
+                "serial_mcycles_per_sec", "trace_overhead_pct",
+                "multicore_cycles", "multicore_mcycles_per_sec",
+                "step_scaling_4t", "multicore_trace_overhead_pct",
+                "host_cpus"):
+        print(f"{key:<28}{base.get(key, '-'):>14}"
+              f"{cur.get(key, '-'):>14}")
 
     if failures:
         print("\nFAIL", file=sys.stderr)

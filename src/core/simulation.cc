@@ -95,100 +95,123 @@ Simulation::run()
 RunResult
 Simulation::run(const RunOptions& options)
 {
-    RunResult result;
+    // One Stepper driven start to finish — run() and externally
+    // stepped runs share every line of the loop, so they are
+    // bit-identical by construction.
+    Stepper stepper(*this, options);
+    stepper.advance(kNoCycle);
+    return stepper.finish();
+}
 
-    if (options.trace != nullptr)
-        _machine.setTraceSink(options.trace);
-    trace::TraceSink* const sink = _machine.traceSink();
-    const bool tracing = sink != nullptr && sink->enabled();
+Simulation::Stepper::Stepper(Simulation& sim,
+                             const RunOptions& options)
+    : _sim(sim),
+      _options(options),
+      // Cancellation is observed only on a fixed simulated-cycle
+      // lattice: cheap (one atomic load every interval) and the set
+      // of possible stopping points does not depend on host timing
+      // or on whether fast-forward is enabled.
+      _cancelInterval(options.cancelCheckIntervalCycles > 0
+                          ? options.cancelCheckIntervalCycles
+                          : Cycle{65536}),
+      _start(sim._cycle),
+      // The composite next-event horizon of this run: the
+      // scheduler's cached event cycle (ticks run only when due),
+      // the sampling and cancellation lattices, maxCycles, and the
+      // (event-driven) memory/JVM component horizons.
+      _horizon(sim._machine.scheduler(),
+               sim._cycle + options.maxCycles,
+               options.sampleIntervalCycles,
+               options.sampleIntervalCycles > 0
+                   ? sim._cycle + options.sampleIntervalCycles
+                   : kNoCycle,
+               _cancelInterval,
+               options.cancellation != nullptr
+                   ? sim._cycle + _cancelInterval
+                   : kNoCycle)
+{
+    Machine& machine = sim._machine;
+    if (_options.trace != nullptr)
+        machine.setTraceSink(_options.trace);
+    _sink = machine.traceSink();
+    _tracing = _sink != nullptr && _sink->enabled();
+    _profiler = machine.core().profiler();
 
     // Snapshot PMU raw counts to report deltas for this run. Any
     // accounting still batched in the core (e.g. from direct
     // core().cycle() driving outside run()) must land first.
-    _machine.core().flushAccounting();
-    std::array<std::array<std::uint64_t, kNumEventIds>, kNumContexts>
-        baseline{};
+    machine.core().flushAccounting();
     for (ContextId ctx = 0; ctx < kNumContexts; ++ctx) {
         for (std::size_t e = 0; e < kNumEventIds; ++e) {
-            baseline[ctx][e] = _machine.pmu().raw(
-                static_cast<EventId>(e), ctx);
+            _baseline[ctx][e] =
+                machine.pmu().raw(static_cast<EventId>(e), ctx);
         }
     }
 
-    const Cycle start = _cycle;
-    bool stop_requested = false;
-    bool cancelled = false;
-    std::vector<JavaProcess*> just_completed;
-    StageProfiler* const profiler = _machine.core().profiler();
-
-    // Cancellation is observed only on a fixed simulated-cycle
-    // lattice: cheap (one atomic load every interval) and the set of
-    // possible stopping points does not depend on host timing or on
-    // whether fast-forward is enabled.
-    const Cycle cancel_interval =
-        options.cancelCheckIntervalCycles > 0
-            ? options.cancelCheckIntervalCycles
-            : Cycle{65536};
-    if (options.cancellation != nullptr &&
-        options.cancellation->cancelled()) {
-        cancelled = true;
-        stop_requested = true;
+    if (_options.cancellation != nullptr &&
+        _options.cancellation->cancelled()) {
+        _cancelled = true;
+        _stopRequested = true;
     }
 
-    // The composite next-event horizon of this run: the scheduler's
-    // cached event cycle (ticks run only when due), the sampling and
-    // cancellation lattices, maxCycles, and the (event-driven)
-    // memory/JVM component horizons.
-    EventHorizon horizon(
-        _machine.scheduler(), start + options.maxCycles,
-        options.sampleIntervalCycles,
-        options.sampleIntervalCycles > 0
-            ? start + options.sampleIntervalCycles
-            : kNoCycle,
-        cancel_interval,
-        options.cancellation != nullptr ? start + cancel_interval
-                                        : kNoCycle);
-    horizon.observeComponent(_machine.mem().nextEventCycle());
-    for (const JavaProcess* process : _live)
-        horizon.observeComponent(process->nextEventCycle());
+    _horizon.observeComponent(machine.mem().nextEventCycle());
+    for (const JavaProcess* process : sim._live)
+        _horizon.observeComponent(process->nextEventCycle());
+}
 
-    // Cycles below this bound provably perform no allocation and
-    // need no scheduler tick (see the probe below); they take the
-    // slim retire-only path. Tracing disables it: the slim path
-    // elides the per-cycle stall spans a traced run would emit.
-    Cycle retire_only_until = 0;
+Cycle
+Simulation::Stepper::advance(Cycle bound)
+{
+    Simulation& sim = _sim;
+    Machine& machine = sim._machine;
 
-    while (!stop_requested && !allProcessesComplete() &&
-           _cycle < horizon.end()) {
+    // _retireOnlyUntil: cycles below it provably perform no
+    // allocation and need no scheduler tick (see the probe below);
+    // they take the slim retire-only path. Tracing disables it: the
+    // slim path elides the per-cycle stall spans a traced run would
+    // emit. The bound carries across advance() calls — it is a
+    // property of the machine state, not of the stepping grain.
+
+    while (!_stopRequested && !sim.allProcessesComplete() &&
+           sim._cycle < _horizon.end() && sim._cycle < bound) {
+        // Publish the clock as this core's commit horizon: every
+        // shared-L2 access it makes from here on is keyed at
+        // (_cycle, core) or later. Release-ordered, so a core the
+        // publish unblocks observes all earlier L2 mutations.
+        if (_gate != nullptr)
+            _gate->publish(_gateCore, sim._cycle);
+
         SmtCore::CycleOutcome outcome;
-        if (_cycle < retire_only_until) {
-            outcome = _machine.core().retireOnlyCycle(_cycle);
+        if (sim._cycle < _retireOnlyUntil) {
+            outcome = machine.core().retireOnlyCycle(sim._cycle);
         } else {
-            if (horizon.schedulerDue(_cycle)) {
-                _machine.scheduler().tick(_cycle);
-                horizon.noteTicked();
+            if (_horizon.schedulerDue(sim._cycle)) {
+                machine.scheduler().tick(sim._cycle);
+                _horizon.noteTicked();
             }
-            outcome = _machine.core().cycle(_cycle);
+            outcome = machine.core().cycle(sim._cycle);
         }
-        ++_cycle;
+        ++sim._cycle;
 
-        if (_cycle >= horizon.sampleEdge()) {
+        if (sim._cycle >= _horizon.sampleEdge()) {
             // Land the batched cycle accounting so the sample
             // callback reads exact counts.
-            _machine.core().flushAccounting();
-            if (options.onSample)
-                options.onSample(*this, _cycle);
-            if (tracing)
-                sink->instant(trace::Track::kSim, "sample", _cycle);
-            horizon.advanceSample();
+            machine.core().flushAccounting();
+            if (_options.onSample)
+                _options.onSample(sim, sim._cycle);
+            if (_tracing) {
+                _sink->instant(trace::Track::kSim, "sample",
+                               sim._cycle);
+            }
+            _horizon.advanceSample();
         }
 
-        if (_cycle >= horizon.cancelEdge()) {
-            if (options.cancellation->cancelled()) {
-                cancelled = true;
-                stop_requested = true;
+        if (sim._cycle >= _horizon.cancelEdge()) {
+            if (_options.cancellation->cancelled()) {
+                _cancelled = true;
+                _stopRequested = true;
             }
-            horizon.advanceCancel();
+            _horizon.advanceCancel();
         }
 
         // Detect completions among the (few) live processes. A
@@ -197,27 +220,27 @@ Simulation::run(const RunOptions& options)
         // (generation drained inside nextBundle), so all other
         // cycles skip the scan entirely.
         if (outcome.retired > 0 || outcome.threadEvent) {
-            just_completed.clear();
-            for (std::size_t i = 0; i < _live.size();) {
-                if (_live[i]->complete()) {
-                    just_completed.push_back(_live[i]);
-                    _live[i] = _live.back();
-                    _live.pop_back();
+            _justCompleted.clear();
+            for (std::size_t i = 0; i < sim._live.size();) {
+                if (sim._live[i]->complete()) {
+                    _justCompleted.push_back(sim._live[i]);
+                    sim._live[i] = sim._live.back();
+                    sim._live.pop_back();
                 } else {
                     ++i;
                 }
             }
-            for (JavaProcess* process : just_completed) {
-                if (tracing) {
-                    sink->instantText(trace::Track::kSim,
-                                      "process_exit", _cycle,
-                                      "benchmark",
-                                      process->profile().name);
+            for (JavaProcess* process : _justCompleted) {
+                if (_tracing) {
+                    _sink->instantText(trace::Track::kSim,
+                                       "process_exit", sim._cycle,
+                                       "benchmark",
+                                       process->profile().name);
                 }
-                if (options.onProcessExit) {
-                    _machine.core().flushAccounting();
-                    if (!options.onProcessExit(*this, *process))
-                        stop_requested = true;
+                if (_options.onProcessExit) {
+                    machine.core().flushAccounting();
+                    if (!_options.onProcessExit(sim, *process))
+                        _stopRequested = true;
                 }
             }
         }
@@ -230,34 +253,38 @@ Simulation::run(const RunOptions& options)
         // probe and jump are bit-identity-preserving either way —
         // the full path on a stalled cycle records exactly the
         // events fastForwardAccount() replays.
-        if (options.fastForward && outcome.allocated == 0 &&
-            !stop_requested && !allProcessesComplete()) {
+        //
+        // A jump may pass the caller's bound: the skipped window
+        // provably performs no memory accesses, so overshooting
+        // cannot reorder anything the bound protects.
+        if (_options.fastForward && outcome.allocated == 0 &&
+            !_stopRequested && !sim.allProcessesComplete()) {
             ScopedStageTimer timer(
-                profiler, &StageProfiler::fastForwardSeconds);
+                _profiler, &StageProfiler::fastForwardSeconds);
             // When every context is provably stalled until a known
             // future cycle, jump the clock there and bulk-account
             // the skipped cycles instead of simulating them.
             const Cycle sched_bound =
-                horizon.schedulerBound(_cycle);
+                _horizon.schedulerBound(sim._cycle);
             const SmtCore::CoreBounds core_bounds =
-                _machine.core().bounds(_cycle);
-            const Cycle bound =
+                machine.core().bounds(sim._cycle);
+            const Cycle jump_bound =
                 std::min(core_bounds.stall, sched_bound);
             Cycle alloc_bound = core_bounds.alloc;
-            if (bound > _cycle) {
+            if (jump_bound > sim._cycle) {
                 // Capped one cycle short of the next sample and
                 // cancellation edges so both fire on the exact
                 // clock edge the cycle-by-cycle path would produce.
                 const Cycle target =
-                    std::min(bound, horizon.jumpCap());
-                if (target > _cycle) {
-                    _machine.core().fastForwardAccount(_cycle,
-                                                       target);
-                    _cycle = target;
+                    std::min(jump_bound, _horizon.jumpCap());
+                if (target > sim._cycle) {
+                    machine.core().fastForwardAccount(sim._cycle,
+                                                      target);
+                    sim._cycle = target;
                     // The clock moved: slot parity and fetch gates
                     // are relative to the new cycle.
                     alloc_bound =
-                        _machine.core().allocBound(_cycle);
+                        machine.core().allocBound(sim._cycle);
                 }
             }
             // Windows that retire but provably cannot allocate take
@@ -266,28 +293,46 @@ Simulation::run(const RunOptions& options)
             // a freed window slot) invalidates the bound before the
             // next iteration uses it; a scheduler event inside the
             // window is impossible (sched_bound caps it).
-            retire_only_until =
-                tracing ? 0 : std::min(alloc_bound, sched_bound);
+            _retireOnlyUntil =
+                _tracing ? 0
+                         : std::min(alloc_bound, sched_bound);
         }
     }
 
-    if (tracing)
-        sink->complete(trace::Track::kSim, "run", start, _cycle);
+    // Everything below the clock is now committed; republish so
+    // cores waiting on this one never stall on a stale horizon
+    // between advance() calls.
+    if (_gate != nullptr)
+        _gate->publish(_gateCore, sim._cycle);
+    return sim._cycle;
+}
+
+RunResult
+Simulation::Stepper::finish()
+{
+    Simulation& sim = _sim;
+    Machine& machine = sim._machine;
+    RunResult result;
+
+    if (_tracing) {
+        _sink->complete(trace::Track::kSim, "run", _start,
+                        sim._cycle);
+    }
 
     // Land the batched cycle accounting before the final reads.
-    _machine.core().flushAccounting();
+    machine.core().flushAccounting();
 
-    result.cycles = _cycle - start;
-    result.allComplete = allProcessesComplete();
-    result.cancelled = cancelled;
+    result.cycles = sim._cycle - _start;
+    result.allComplete = sim.allProcessesComplete();
+    result.cancelled = _cancelled;
     for (ContextId ctx = 0; ctx < kNumContexts; ++ctx) {
         for (std::size_t e = 0; e < kNumEventIds; ++e) {
             result.events[ctx][e] =
-                _machine.pmu().raw(static_cast<EventId>(e), ctx) -
-                baseline[ctx][e];
+                machine.pmu().raw(static_cast<EventId>(e), ctx) -
+                _baseline[ctx][e];
         }
     }
-    for (const auto& process : _processes) {
+    for (const auto& process : sim._processes) {
         ProcessResult pr;
         pr.pid = process->pid();
         pr.benchmark = process->profile().name;

@@ -7,11 +7,13 @@
 #ifndef JSMT_CORE_SIMULATION_H
 #define JSMT_CORE_SIMULATION_H
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/event_horizon.h"
 #include "core/machine.h"
 #include "core/run_result.h"
 #include "jvm/benchmarks.h"
@@ -19,6 +21,9 @@
 #include "resilience/cancellation.h"
 
 namespace jsmt {
+
+class L2AccessGate;
+class StageProfiler;
 
 /** Description of one workload to launch. */
 struct WorkloadSpec
@@ -107,6 +112,8 @@ class Simulation
         Cycle cancelCheckIntervalCycles = 65536;
     };
 
+    class Stepper;
+
     explicit Simulation(Machine& machine);
 
     /**
@@ -120,7 +127,7 @@ class Simulation
      * leaves the live set (so this driver stops scanning it for
      * completion) and the owned-process list. Its threads are NOT
      * detached from this machine's scheduler — the caller does that
-     * via JavaProcess::rebindScheduler. Used by the multi-core
+     * via JavaProcess::rebindHost. Used by the multi-core
      * allocation layer to migrate a process to another core.
      * @return the owning pointer (null if not owned here).
      */
@@ -165,6 +172,8 @@ class Simulation
     Machine& machine() { return _machine; }
 
   private:
+    friend class Stepper;
+
     bool allProcessesComplete() const;
 
     Machine& _machine;
@@ -173,6 +182,95 @@ class Simulation
     std::vector<std::unique_ptr<JavaProcess>> _processes;
     /** Launched processes that have not completed yet. */
     std::vector<JavaProcess*> _live;
+};
+
+/**
+ * Resumable form of one run() call: the prologue (PMU baseline,
+ * event horizon, cancellation lattice) happens once at
+ * construction, the main loop advances in caller-bounded steps, and
+ * finish() performs the epilogue and assembles the RunResult.
+ * run() itself is one Stepper driven start to finish, so the two
+ * are bit-identical by construction.
+ *
+ * The multi-core stepping engine is the reason this exists: it
+ * interleaves N cores' cycle loops in bounded slices between epoch
+ * edges (serially or on worker threads) without paying the
+ * prologue/epilogue per slice, and attachGate() lets the loop
+ * publish its clock as the commit horizon conservative shared-L2
+ * synchronization needs (see L2AccessGate).
+ *
+ * advance(bound) steps the loop while the clock is below @p bound
+ * and the run is not done. A fast-forward jump may legitimately
+ * overshoot the bound: a jumped window provably performs no memory
+ * accesses, so it cannot violate the cross-core ordering contract
+ * the bound exists to uphold.
+ */
+class Simulation::Stepper
+{
+  public:
+    Stepper(Simulation& sim, const RunOptions& options);
+
+    Stepper(const Stepper&) = delete;
+    Stepper& operator=(const Stepper&) = delete;
+
+    /**
+     * Publish this core's clock to @p gate as chip core @p core
+     * while stepping. Attach before the first advance().
+     */
+    void
+    attachGate(L2AccessGate* gate, std::uint32_t core)
+    {
+        _gate = gate;
+        _gateCore = core;
+    }
+
+    /**
+     * Step until the clock reaches @p bound (or the run completes,
+     * stops, cancels, or exhausts maxCycles). @return the clock
+     * after stepping; may exceed @p bound only via a fast-forward
+     * jump over a provably access-free window.
+     */
+    Cycle advance(Cycle bound);
+
+    /** @return whether the run can step no further. */
+    bool
+    done() const
+    {
+        return _stopRequested || _sim.allProcessesComplete() ||
+               _sim._cycle >= _horizon.end();
+    }
+
+    /** @return whether a cancellation check observed a cancel. */
+    bool cancelled() const { return _cancelled; }
+
+    /** @return the simulation clock. */
+    Cycle cycle() const { return _sim._cycle; }
+
+    /**
+     * Epilogue: land batched accounting and assemble the RunResult
+     * of everything stepped since construction. Call at most once;
+     * the Stepper is spent afterwards.
+     */
+    RunResult finish();
+
+  private:
+    Simulation& _sim;
+    RunOptions _options;
+    Cycle _cancelInterval;
+    Cycle _start;
+    EventHorizon _horizon;
+    trace::TraceSink* _sink = nullptr;
+    bool _tracing = false;
+    StageProfiler* _profiler = nullptr;
+    bool _stopRequested = false;
+    bool _cancelled = false;
+    Cycle _retireOnlyUntil = 0;
+    L2AccessGate* _gate = nullptr;
+    std::uint32_t _gateCore = 0;
+    std::vector<JavaProcess*> _justCompleted;
+    std::array<std::array<std::uint64_t, kNumEventIds>,
+               kNumContexts>
+        _baseline{};
 };
 
 } // namespace jsmt

@@ -1,11 +1,13 @@
 #include "exec/task_pool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <string>
 
 #include "common/env.h"
 #include "common/log.h"
+#include "exec/thread_budget.h"
 
 namespace jsmt::exec {
 
@@ -51,7 +53,13 @@ TaskPool::resolveJobs(std::size_t requested)
 TaskPool::TaskPool(std::size_t jobs) : _jobs(resolveJobs(jobs))
 {
     // The calling thread participates in every batch, so spawn one
-    // worker fewer than the job count.
+    // worker fewer than the job count. The extra workers are a hard
+    // charge against the process thread budget: `--jobs N` means N,
+    // and polite consumers (the multi-core stepping engine inside
+    // each task) see the reduced remainder and scale back instead
+    // of oversubscribing the host.
+    ThreadBudget::instance().acquireExtra(_jobs - 1,
+                                          /*force=*/true);
     for (std::size_t i = 1; i < _jobs; ++i)
         _workers.emplace_back([this] { workerLoop(); });
 }
@@ -65,6 +73,7 @@ TaskPool::~TaskPool()
     _wake.notify_all();
     for (std::thread& worker : _workers)
         worker.join();
+    ThreadBudget::instance().release(_jobs - 1);
 }
 
 void
@@ -80,22 +89,27 @@ TaskPool::workerLoop()
             return;
         seen = _generation;
         lock.unlock();
-        drainBatch();
+        drainBatch(seen);
         lock.lock();
     }
 }
 
 void
-TaskPool::drainBatch()
+TaskPool::drainBatch(std::uint64_t generation)
 {
     for (;;) {
-        const std::size_t index =
-            _nextIndex.fetch_add(1, std::memory_order_relaxed);
-        if (index >= _count)
-            return;
+        const std::function<void(std::size_t)>* body = nullptr;
+        std::size_t index = 0;
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            if (_generation != generation || _nextIndex >= _count)
+                return;
+            index = _nextIndex++;
+            body = _body;
+        }
         std::exception_ptr error;
         try {
-            (*_body)(index);
+            (*body)(index);
         } catch (...) {
             error = std::current_exception();
         }
@@ -160,20 +174,22 @@ TaskPool::parallelFor(std::size_t count,
         return;
     }
 
+    std::uint64_t generation = 0;
     {
         std::lock_guard<std::mutex> lock(_mutex);
         if (_body != nullptr)
             fatal("TaskPool: nested parallelFor is not supported");
         _body = &body;
         _count = count;
-        _nextIndex.store(0, std::memory_order_relaxed);
+        _nextIndex = 0;
         _finished = 0;
         _errors.clear();
         ++_generation;
+        generation = _generation;
     }
     _wake.notify_all();
 
-    drainBatch();
+    drainBatch(generation);
 
     std::vector<TaskError> errors;
     {

@@ -19,7 +19,6 @@
 #ifndef JSMT_EXEC_TASK_POOL_H
 #define JSMT_EXEC_TASK_POOL_H
 
-#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -132,8 +131,16 @@ class TaskPool
 
   private:
     void workerLoop();
-    /** Claim and run batch indices until none are left. */
-    void drainBatch();
+    /**
+     * Claim and run indices of the batch identified by
+     * @p generation until none are left. Claims happen under
+     * _mutex with the generation re-checked on every loop: a
+     * worker that finishes the last task of batch N and loops
+     * around while the caller is already setting up batch N+1
+     * must bounce back to workerLoop's cv handshake instead of
+     * leaking into the new batch without a happens-before edge.
+     */
+    void drainBatch(std::uint64_t generation);
     /** Throw a BatchError for @p errors (no-op when empty). */
     static void throwBatchErrors(std::vector<TaskError>&& errors);
 
@@ -146,10 +153,11 @@ class TaskPool
     std::uint64_t _generation = 0;
     bool _shutdown = false;
 
-    // State of the in-flight batch (valid while _body != nullptr).
+    // State of the in-flight batch (valid while _body != nullptr;
+    // all fields guarded by _mutex).
     const std::function<void(std::size_t)>* _body = nullptr;
     std::size_t _count = 0;
-    std::atomic<std::size_t> _nextIndex{0};
+    std::size_t _nextIndex = 0;
     std::size_t _finished = 0;
     std::vector<TaskError> _errors;
 };

@@ -1,0 +1,80 @@
+#include "exec/thread_budget.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace jsmt::exec {
+
+ThreadBudget&
+ThreadBudget::instance()
+{
+    static ThreadBudget budget;
+    return budget;
+}
+
+ThreadBudget::ThreadBudget()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    _capacity = hw > 0 ? hw : 1;
+}
+
+std::size_t
+ThreadBudget::acquireExtra(std::size_t want, bool force)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    std::size_t granted = want;
+    if (!force) {
+        // Leave one hardware thread for the caller itself.
+        const std::size_t cap =
+            _capacity > 0 ? _capacity - 1 : std::size_t{0};
+        const std::size_t free = cap > _used ? cap - _used : 0;
+        granted = std::min(want, free);
+    }
+    _used += granted;
+    return granted;
+}
+
+void
+ThreadBudget::release(std::size_t count)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _used -= std::min(count, _used);
+}
+
+std::size_t
+ThreadBudget::used() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _used;
+}
+
+std::size_t
+ThreadBudget::available() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    const std::size_t cap =
+        _capacity > 0 ? _capacity - 1 : std::size_t{0};
+    return cap > _used ? cap - _used : 0;
+}
+
+std::size_t
+ThreadBudget::capacity() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _capacity;
+}
+
+void
+ThreadBudget::setCapacityForTest(std::size_t capacity)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (capacity == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        _capacity = hw > 0 ? hw : 1;
+    } else {
+        _capacity = capacity;
+    }
+    _used = 0;
+}
+
+} // namespace jsmt::exec

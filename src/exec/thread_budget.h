@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Process-wide thread budget shared by every layer that spawns
+ * workers.
+ *
+ * Two layers of the harness parallelize independently: TaskPool fans
+ * experiment cells out over `--jobs` threads, and the multi-core
+ * stepping engine fans core slices out over `--step-threads` threads
+ * *inside* each cell. Composed naively (jobs x step-threads) they
+ * oversubscribe the host; composed through this budget they share
+ * one pool of hardware threads.
+ *
+ * The protocol distinguishes hard reservations from polite requests:
+ *
+ *  - TaskPool *charges* its extra workers (acquireExtra with
+ *    force=true): an explicit `--jobs N` means N, always.
+ *  - The stepping engine *asks* (force=false) and receives only what
+ *    the budget has left, possibly zero — in which case it steps the
+ *    cores serially on the calling thread, which is always correct
+ *    (results are thread-count invariant by construction).
+ *
+ * Capacity defaults to hardware_concurrency(); tests raise it via
+ * setCapacityForTest so multi-thread paths exercise real threads
+ * even on a single-CPU host.
+ */
+
+#ifndef JSMT_EXEC_THREAD_BUDGET_H
+#define JSMT_EXEC_THREAD_BUDGET_H
+
+#include <cstddef>
+#include <mutex>
+
+namespace jsmt::exec {
+
+/**
+ * Singleton ledger of extra (beyond the calling thread) worker
+ * threads in flight across the process. All methods are
+ * thread-safe.
+ */
+class ThreadBudget
+{
+  public:
+    /** @return the process-wide instance. */
+    static ThreadBudget& instance();
+
+    ThreadBudget(const ThreadBudget&) = delete;
+    ThreadBudget& operator=(const ThreadBudget&) = delete;
+
+    /**
+     * Reserve up to @p want extra worker threads.
+     *
+     * @param want extra threads desired (callers already have the
+     *        calling thread; it is never counted here).
+     * @param force when true, the full @p want is charged even past
+     *        capacity (an explicit user request wins over the
+     *        heuristic); when false, the grant is clamped to what
+     *        capacity has left and may be 0.
+     * @return threads actually reserved; release exactly this many.
+     */
+    std::size_t acquireExtra(std::size_t want, bool force = false);
+
+    /** Return @p count previously acquired threads to the budget. */
+    void release(std::size_t count);
+
+    /** @return extra worker threads currently reserved. */
+    std::size_t used() const;
+
+    /**
+     * @return extra threads a polite acquireExtra could get now
+     * (capacity minus one for the calling thread minus used).
+     */
+    std::size_t available() const;
+
+    /** @return total hardware-thread capacity the ledger assumes. */
+    std::size_t capacity() const;
+
+    /**
+     * Override capacity (tests only; also resets used to 0 so a
+     * failed test cannot leak reservations into the next one).
+     * Pass 0 to restore the hardware_concurrency() default.
+     */
+    void setCapacityForTest(std::size_t capacity);
+
+  private:
+    ThreadBudget();
+
+    mutable std::mutex _mutex;
+    std::size_t _capacity;
+    std::size_t _used = 0;
+};
+
+/** RAII reservation: acquires in the ctor, releases in the dtor. */
+class ThreadReservation
+{
+  public:
+    ThreadReservation() = default;
+
+    /** Politely reserve up to @p want extra threads. */
+    explicit ThreadReservation(std::size_t want, bool force = false)
+        : _granted(
+              ThreadBudget::instance().acquireExtra(want, force))
+    {
+    }
+
+    ~ThreadReservation()
+    {
+        if (_granted > 0)
+            ThreadBudget::instance().release(_granted);
+    }
+
+    ThreadReservation(const ThreadReservation&) = delete;
+    ThreadReservation& operator=(const ThreadReservation&) = delete;
+
+    ThreadReservation(ThreadReservation&& other) noexcept
+        : _granted(other._granted)
+    {
+        other._granted = 0;
+    }
+
+    ThreadReservation&
+    operator=(ThreadReservation&& other) noexcept
+    {
+        if (this != &other) {
+            if (_granted > 0)
+                ThreadBudget::instance().release(_granted);
+            _granted = other._granted;
+            other._granted = 0;
+        }
+        return *this;
+    }
+
+    /** @return extra threads actually reserved (may be 0). */
+    std::size_t granted() const { return _granted; }
+
+  private:
+    std::size_t _granted = 0;
+};
+
+} // namespace jsmt::exec
+
+#endif // JSMT_EXEC_THREAD_BUDGET_H

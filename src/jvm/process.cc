@@ -17,7 +17,7 @@ JavaProcess::JavaProcess(ProcessId pid, Asid asid,
       _profile(profile),
       _numAppThreads(num_threads),
       _scheduler(&scheduler),
-      _pmu(pmu),
+      _pmu(&pmu),
       _heap(profile.gcThresholdBytes)
 {
     if (asid == kKernelAsid)
@@ -55,8 +55,9 @@ JavaProcess::launch(Cycle now)
 }
 
 void
-JavaProcess::rebindScheduler(Scheduler& scheduler)
+JavaProcess::rebindHost(Scheduler& scheduler, Pmu& pmu)
 {
+    _pmu = &pmu;
     if (&scheduler == _scheduler)
         return;
     Scheduler* const old = _scheduler;
@@ -103,7 +104,7 @@ JavaProcess::monitorAcquire(JavaThread& thread)
         _monitorHolder = &thread;
         return true;
     }
-    _pmu.record(EventId::kMonitorContention, 0);
+    _pmu->record(EventId::kMonitorContention, 0);
     _monitorWaiters.push_back(&thread);
     return false;
 }
@@ -127,14 +128,14 @@ JavaProcess::monitorRelease(JavaThread& thread)
 bool
 JavaProcess::allocate(std::uint64_t bytes)
 {
-    _pmu.record(EventId::kAllocBytes, 0, bytes);
+    _pmu->record(EventId::kAllocBytes, 0, bytes);
     if (!_heap.allocate(bytes))
         return false;
 
     // Stop-the-world collection: halt every runnable app thread
     // (including the allocator) and hand the machine to the
     // collector.
-    _pmu.record(EventId::kGcRuns, 0);
+    _pmu->record(EventId::kGcRuns, 0);
     _gcInProgress = true;
     for (std::uint32_t t = 0; t < _numAppThreads; ++t) {
         JavaThread& app = *_threads[t];

@@ -145,13 +145,15 @@ class JavaProcess
      * the old scheduler — run queue and contexts — and re-admitted
      * to the new one, which rebinds their state-epoch cells; all
      * future wakes (barrier releases, GC, monitor handoffs) route to
-     * the new scheduler. Thread-owned front-end state and dependence
+     * the new scheduler. Software-event accounting (allocation, GC,
+     * monitor contention) follows the process to @p pmu, the new
+     * host's counters. Thread-owned front-end state and dependence
      * rings travel with the threads, and µops still in flight on the
      * old core retire there normally.
      */
-    void rebindScheduler(Scheduler& scheduler);
+    void rebindHost(Scheduler& scheduler, Pmu& pmu);
     /** @return PMU for software-event accounting. */
-    Pmu& pmu() { return _pmu; }
+    Pmu& pmu() { return *_pmu; }
 
   private:
     void releaseBarrierIfComplete();
@@ -160,9 +162,9 @@ class JavaProcess
     Asid _asid;
     WorkloadProfile _profile;
     std::uint32_t _numAppThreads;
-    /** Never null; reseated by rebindScheduler() on migration. */
+    /** Never null; both reseated by rebindHost() on migration. */
     Scheduler* _scheduler;
-    Pmu& _pmu;
+    Pmu* _pmu;
     Heap _heap;
     std::vector<std::unique_ptr<JavaThread>> _threads;
 

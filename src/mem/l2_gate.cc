@@ -1,0 +1,65 @@
+#include "mem/l2_gate.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace jsmt {
+
+L2AccessGate::L2AccessGate(std::uint32_t cores) : _cores(cores)
+{
+    if (cores == 0)
+        fatal("l2 gate: cores must be positive");
+    _slots = std::make_unique<Slot[]>(cores);
+}
+
+void
+L2AccessGate::reset(Cycle cycle)
+{
+    for (std::uint32_t core = 0; core < _cores; ++core) {
+        _slots[core].commit.store(cycle,
+                                  std::memory_order_release);
+        _slots[core].safeFloor = 0;
+    }
+}
+
+Cycle
+L2AccessGate::floorFor(std::uint32_t core) const
+{
+    // Key (c, core) precedes core j's horizon iff c < commit_j
+    // (j < core) or c <= commit_j, i.e. c < commit_j + 1
+    // (j > core). A parked core sits at kNoCycle and never binds.
+    Cycle floor = kNoCycle;
+    for (std::uint32_t j = 0; j < _cores; ++j) {
+        if (j == core)
+            continue;
+        const Cycle commit =
+            _slots[j].commit.load(std::memory_order_acquire);
+        const Cycle bound =
+            j < core ? (commit > 0 ? commit - 1 : 0)
+                     : (commit < kNoCycle ? commit : kNoCycle);
+        floor = std::min(floor, bound);
+    }
+    return floor;
+}
+
+void
+L2AccessGate::awaitSlow(std::uint32_t core, Cycle at)
+{
+    // A bounded spin first (the far core is usually one or two
+    // publishes away), then yield so a host with fewer CPUs than
+    // workers still makes progress: the blocked thread deschedules
+    // and the core it waits on runs a full quantum.
+    std::uint32_t spins = 0;
+    for (;;) {
+        const Cycle floor = floorFor(core);
+        if (at <= floor) {
+            _slots[core].safeFloor = floor;
+            return;
+        }
+        if (++spins >= 64)
+            std::this_thread::yield();
+    }
+}
+
+} // namespace jsmt

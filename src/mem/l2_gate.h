@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Conservative cross-core ordering gate for the shared L2.
+ *
+ * The multi-core chip shares one Cache object across N machine
+ * slices. When the slices step on different host threads, every
+ * access to that object must land in one deterministic global order
+ * or the run stops being bit-reproducible. The contract (DESIGN.md
+ * §11) is timestamp order: an access made while core i simulates
+ * cycle c carries the key (c, i), and keys execute in lexicographic
+ * order — all of cycle c's accesses across the chip happen in
+ * ascending core id, and each core's accesses within one cycle keep
+ * their program order.
+ *
+ * The gate enforces the contract Chandy–Misra style. Each core
+ * publishes a monotonic *commit horizon*: the promise that every
+ * access it has not yet performed carries a key at or above
+ * (commit, core). Core i may perform an access keyed (c, i) once
+ * every other core j has published a horizon strictly beyond it —
+ * commit_j > c, or commit_j == c with j > i. Until then it spins;
+ * because the chip-wide minimum key always satisfies its own check,
+ * some core can always proceed and the wait is deadlock-free.
+ *
+ * Two properties make this cheap. First, cores only consult the
+ * gate on actual shared-L2 accesses (an L1/trace-cache-resident
+ * window never waits), and fast-forwarded stall windows publish
+ * their whole jump at once — the event-horizon machinery hands the
+ * gate exactly the lookahead a conservative parallel scheme needs.
+ * Second, each core caches the last horizon bound it proved
+ * (`safe floor`); accesses below the floor re-check nothing.
+ *
+ * Memory ordering: publish() is a release store made *after* the
+ * publishing core finished all accesses below the new horizon, and
+ * await() acquire-loads it, so a waiting core observes every shared
+ * Cache mutation ordered before its own — the serialization is a
+ * happens-before chain, not just mutual exclusion.
+ */
+
+#ifndef JSMT_MEM_L2_GATE_H
+#define JSMT_MEM_L2_GATE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "common/types.h"
+
+namespace jsmt {
+
+/**
+ * The gate. One instance per shared L2, sized at the chip's core
+ * count. publish()/await() for a given core are called only by the
+ * host thread currently stepping that core; reset() only with no
+ * stepping in flight (the driver, between epochs).
+ */
+class L2AccessGate
+{
+  public:
+    explicit L2AccessGate(std::uint32_t cores);
+
+    std::uint32_t cores() const { return _cores; }
+
+    /**
+     * Publish core @p core's commit horizon: it promises that every
+     * shared-L2 access it performs from now on is keyed at
+     * (@p cycle, core) or later. Horizons must be non-decreasing
+     * within an epoch; reset() rewinds them between epochs.
+     */
+    void
+    publish(std::uint32_t core, Cycle cycle)
+    {
+        _slots[core].commit.store(cycle, std::memory_order_release);
+    }
+
+    /**
+     * Park @p core: it performs no further shared-L2 accesses until
+     * the next reset(). Equivalent to publishing an infinite
+     * horizon; used for idle, completed and cancelled cores so the
+     * rest of the chip never waits on them.
+     */
+    void park(std::uint32_t core) { publish(core, kNoCycle); }
+
+    /** @return core @p core's current horizon (driver-side). */
+    Cycle
+    published(std::uint32_t core) const
+    {
+        return _slots[core].commit.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Rewind every core's horizon to @p cycle and invalidate the
+     * cached floors. Driver-only, at a point where no worker is
+     * stepping (the epoch barrier).
+     */
+    void reset(Cycle cycle);
+
+    /**
+     * Block until core @p core may access the shared L2 at its
+     * current horizon key (commit_core, core) — i.e. until every
+     * other core's horizon is lexicographically beyond it. The
+     * caller must have publish()ed its current cycle first; the
+     * gate reads the key back from the slot rather than taking a
+     * cycle argument so the key and the published promise can never
+     * disagree.
+     */
+    void
+    await(std::uint32_t core)
+    {
+        if (_cores <= 1)
+            return;
+        const Cycle at =
+            _slots[core].commit.load(std::memory_order_relaxed);
+        // Fast path: a bound this core already proved. Other
+        // horizons only grow inside an epoch, so a cached floor
+        // stays valid until the next reset().
+        if (at <= _slots[core].safeFloor)
+            return;
+        awaitSlow(core, at);
+    }
+
+  private:
+    /**
+     * One core's gate state, padded so the publisher's stores and
+     * the waiters' loads never false-share with a neighbour. The
+     * safe floor is written only by the owning core's thread.
+     */
+    struct alignas(64) Slot
+    {
+        std::atomic<Cycle> commit{0};
+        Cycle safeFloor = 0;
+    };
+
+    void awaitSlow(std::uint32_t core, Cycle at);
+
+    /**
+     * Recompute core @p core's safe floor: the largest cycle F such
+     * that every key (c, core) with c <= F is currently ordered
+     * before every other core's horizon.
+     */
+    Cycle floorFor(std::uint32_t core) const;
+
+    std::uint32_t _cores;
+    std::unique_ptr<Slot[]> _slots;
+};
+
+} // namespace jsmt
+
+#endif // JSMT_MEM_L2_GATE_H

@@ -54,6 +54,10 @@ runPairMatrix(const SystemConfig& config,
             }
             MultiCoreSimulation::RunOptions run;
             run.maxCycles = options.maxCyclesPerCell;
+            // Any parallel step-thread request degrades to the
+            // budget-polite auto mode: explicit counts would
+            // multiply with the cell fan-out and oversubscribe.
+            run.stepThreads = options.stepThreads == 1 ? 1 : 0;
             PairMatrixCell cell;
             cell.a = a;
             cell.b = b;

@@ -38,7 +38,25 @@ std::string
 SweepCheckpoint::describeTopology(std::uint32_t cores,
                                   const std::string& alloc)
 {
-    return "cores=" + std::to_string(cores) + ";alloc=" + alloc;
+    // The step-threads field is schema documentation, not identity:
+    // the stepping engine is bit-identical for every worker count,
+    // so entries measured at any --step-threads are valid for any
+    // other. "any" records that invariance explicitly in the
+    // manifest (a hypothetical thread-count-dependent engine would
+    // have to stamp a real value here and break resume).
+    return "cores=" + std::to_string(cores) + ";alloc=" + alloc +
+           ";step-threads=any";
+}
+
+std::string
+SweepCheckpoint::normalizeTopology(const std::string& topology)
+{
+    // Identity comparison ignores the step-threads field (see
+    // describeTopology): manifests written before the field existed
+    // must keep resuming against runs that now stamp it.
+    const std::size_t at = topology.find(";step-threads=");
+    return at == std::string::npos ? topology
+                                   : topology.substr(0, at);
 }
 
 SweepCheckpoint::SweepCheckpoint(std::string path,
@@ -102,7 +120,9 @@ SweepCheckpoint::loadExisting()
                        : std::string();
     if (manifest_topology.empty())
         manifest_topology = kDefaultTopology;
-    if (!_topology.empty() && _topology != manifest_topology) {
+    if (!_topology.empty() &&
+        normalizeTopology(_topology) !=
+            normalizeTopology(manifest_topology)) {
         std::lock_guard<std::mutex> lock(_mutex);
         _manifestTopology = manifest_topology;
         _topologyMismatch = true;
@@ -184,7 +204,11 @@ SweepCheckpoint::flushLocked()
         effective_topology = _manifestTopology.empty()
                                  ? kDefaultTopology
                                  : _manifestTopology;
-    std::string out = "{\"version\":1,\"topology\":";
+    // Version 2 marks topologies carrying the step-threads field;
+    // the loader never reads the version (the topology + per-entry
+    // digests are the real schema), so v1 and v2 manifests parse
+    // interchangeably in both directions.
+    std::string out = "{\"version\":2,\"topology\":";
     json::appendEscaped(out, effective_topology);
     out += ",\"entries\":[\n";
     {

@@ -48,9 +48,21 @@ class SweepCheckpoint
     static constexpr const char* kDefaultTopology =
         "cores=1;alloc=static-pin";
 
-    /** @return the canonical topology string for a chip shape. */
+    /**
+     * @return the canonical topology string for a chip shape:
+     * "cores=N;alloc=P;step-threads=any". The trailing field
+     * records that sweep entries are invariant to the stepping
+     * engine's worker count (resuming a `--step-threads 4` sweep
+     * with `--step-threads 1` is legal and bit-identical); it is
+     * ignored by the identity comparison, so manifests written
+     * before the field existed keep resuming.
+     */
     static std::string describeTopology(std::uint32_t cores,
                                         const std::string& alloc);
+
+    /** @return @p topology with the step-threads field stripped. */
+    static std::string
+    normalizeTopology(const std::string& topology);
 
     /**
      * Open (or create) the manifest at @p path, loading any valid

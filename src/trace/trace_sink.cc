@@ -76,6 +76,19 @@ TraceSink::clear()
     _dropped = 0;
 }
 
+void
+TraceSink::drainInto(TraceSink& dest)
+{
+    if (&dest == this)
+        return;
+    if (dest._enabled) {
+        for (std::size_t i = 0; i < _size; ++i)
+            dest.push(std::move(_ring[(_head + i) % _capacity]));
+        dest._dropped += _dropped;
+    }
+    clear();
+}
+
 std::vector<TraceEvent>
 TraceSink::events() const
 {

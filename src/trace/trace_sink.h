@@ -206,6 +206,19 @@ class TraceSink
     void clear();
 
     /**
+     * Move every captured event into @p dest (in capture order,
+     * via dest.push — dest's ring may drop the oldest as usual) and
+     * clear this sink; drop counts transfer too. The multi-core
+     * stepping engine gives each core slice a private shard sink
+     * and drains the shards into the user's sink in core order at
+     * every epoch edge, so the merged capture is deterministic and
+     * identical for every step-thread count. No-op when @p dest is
+     * this sink or when dest is disabled (events are still cleared,
+     * mirroring what pushing into a disabled sink would capture).
+     */
+    void drainInto(TraceSink& dest);
+
+    /**
      * Events in capture order (oldest first). Capture order is
      * non-decreasing in ts because the simulator clock only moves
      * forward; spans are stamped at their start cycle, so the
