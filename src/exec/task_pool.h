@@ -28,6 +28,8 @@
 #include <thread>
 #include <vector>
 
+#include "exec/thread_budget.h"
+
 namespace jsmt::exec {
 
 /** One failed task of a batch. */
@@ -78,6 +80,19 @@ class TaskPool
      *        batch inline on the calling thread.
      */
     explicit TaskPool(std::size_t jobs = 0);
+
+    /**
+     * Build a pool whose extra workers are (partly) covered by an
+     * already-held budget reservation: only the shortfall beyond
+     * @p reservation.granted() is force-charged. A caller that
+     * politely reserved N threads and sizes the pool at N + 1 is
+     * therefore charged atomically at reservation time — the
+     * observe-then-charge race of available() followed by a forced
+     * constructor charge cannot oversubscribe the host. The pool
+     * owns the reservation for its lifetime.
+     */
+    TaskPool(std::size_t jobs, ThreadReservation reservation);
+
     ~TaskPool();
 
     TaskPool(const TaskPool&) = delete;
@@ -145,6 +160,10 @@ class TaskPool
     static void throwBatchErrors(std::vector<TaskError>&& errors);
 
     std::size_t _jobs;
+    /** Budget adopted from the caller (releases with the pool). */
+    ThreadReservation _reservation;
+    /** Extra threads force-charged beyond the reservation. */
+    std::size_t _charged = 0;
     std::vector<std::thread> _workers;
 
     std::mutex _mutex;

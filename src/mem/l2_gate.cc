@@ -28,7 +28,9 @@ L2AccessGate::floorFor(std::uint32_t core) const
 {
     // Key (c, core) precedes core j's horizon iff c < commit_j
     // (j < core) or c <= commit_j, i.e. c < commit_j + 1
-    // (j > core). A parked core sits at kNoCycle and never binds.
+    // (j > core) — both exclusive bounds, so a lower-id peer still
+    // at commit 0 yields floor 0: nothing is safe until it commits
+    // past cycle 0. A parked core sits at kNoCycle and never binds.
     Cycle floor = kNoCycle;
     for (std::uint32_t j = 0; j < _cores; ++j) {
         if (j == core)
@@ -36,8 +38,8 @@ L2AccessGate::floorFor(std::uint32_t core) const
         const Cycle commit =
             _slots[j].commit.load(std::memory_order_acquire);
         const Cycle bound =
-            j < core ? (commit > 0 ? commit - 1 : 0)
-                     : (commit < kNoCycle ? commit : kNoCycle);
+            j < core ? commit
+                     : (commit < kNoCycle ? commit + 1 : kNoCycle);
         floor = std::min(floor, bound);
     }
     return floor;
@@ -53,7 +55,7 @@ L2AccessGate::awaitSlow(std::uint32_t core, Cycle at)
     std::uint32_t spins = 0;
     for (;;) {
         const Cycle floor = floorFor(core);
-        if (at <= floor) {
+        if (at < floor) {
             _slots[core].safeFloor = floor;
             return;
         }

@@ -26,8 +26,11 @@
  * window never waits), and fast-forwarded stall windows publish
  * their whole jump at once — the event-horizon machinery hands the
  * gate exactly the lookahead a conservative parallel scheme needs.
- * Second, each core caches the last horizon bound it proved
- * (`safe floor`); accesses below the floor re-check nothing.
+ * Second, each core caches the last horizon bound it proved as an
+ * *exclusive* `safe floor`: keys strictly below the floor re-check
+ * nothing, and floor 0 — the post-reset state — proves nothing, so
+ * "no peer has committed anything yet" is unrepresentable as a
+ * passable bound (cycle 0 of a fresh epoch still orders core ids).
  *
  * Memory ordering: publish() is a release store made *after* the
  * publishing core finished all accesses below the new horizon, and
@@ -113,8 +116,10 @@ class L2AccessGate
             _slots[core].commit.load(std::memory_order_relaxed);
         // Fast path: a bound this core already proved. Other
         // horizons only grow inside an epoch, so a cached floor
-        // stays valid until the next reset().
-        if (at <= _slots[core].safeFloor)
+        // stays valid until the next reset(). The floor is
+        // exclusive — only keys *strictly* below it are proved —
+        // so the reset state (floor 0) never lets an access pass.
+        if (at < _slots[core].safeFloor)
             return;
         awaitSlow(core, at);
     }
@@ -123,7 +128,9 @@ class L2AccessGate
     /**
      * One core's gate state, padded so the publisher's stores and
      * the waiters' loads never false-share with a neighbour. The
-     * safe floor is written only by the owning core's thread.
+     * safe floor is written only by the owning core's thread and is
+     * exclusive: keys (c, core) with c < safeFloor are proved safe,
+     * and 0 means nothing is proved yet.
      */
     struct alignas(64) Slot
     {
@@ -134,9 +141,10 @@ class L2AccessGate
     void awaitSlow(std::uint32_t core, Cycle at);
 
     /**
-     * Recompute core @p core's safe floor: the largest cycle F such
-     * that every key (c, core) with c <= F is currently ordered
-     * before every other core's horizon.
+     * Recompute core @p core's safe floor: the largest (exclusive)
+     * cycle F such that every key (c, core) with c < F is currently
+     * ordered before every other core's horizon. F == 0 means no
+     * key is safe — a lower-id peer has not committed past cycle 0.
      */
     Cycle floorFor(std::uint32_t core) const;
 

@@ -22,6 +22,37 @@ struct EpochCore
 };
 
 /**
+ * Unwind guard for stepGroup: if the group's thread exits by
+ * exception (TaskPool catches per-task errors and waits for the
+ * whole batch), the dead slices' commit horizons would stay stale
+ * and every peer group — including the parallelFor caller — would
+ * spin in the gate forever. Parking the remainder unblocks them,
+ * and raising the cancel flag stops the surviving groups at their
+ * next check instead of letting them finish a doomed epoch.
+ */
+struct GroupParkGuard
+{
+    EpochCore* const* begin;
+    EpochCore* const* end;
+    L2AccessGate* gate;
+    std::atomic<bool>* cancel;
+    bool armed = true;
+
+    ~GroupParkGuard()
+    {
+        if (!armed)
+            return;
+        cancel->store(true, std::memory_order_relaxed);
+        if (gate != nullptr) {
+            for (EpochCore* const* it = begin; it != end; ++it) {
+                if (!(*it)->done)
+                    gate->park((*it)->core);
+            }
+        }
+    }
+};
+
+/**
  * Step the slices in [@p begin, @p end) to the end of the epoch.
  *
  * The group is stepped serially in deterministic order: repeatedly
@@ -59,6 +90,7 @@ void
 stepGroup(EpochCore* const* group_begin, EpochCore* const* group_end,
           L2AccessGate* gate, std::atomic<bool>& cancel)
 {
+    GroupParkGuard guard{group_begin, group_end, gate, &cancel};
     for (;;) {
         // A cancel observed by any slice (on its deterministic
         // check lattice) stops the whole chip: park what is left so
@@ -66,6 +98,7 @@ stepGroup(EpochCore* const* group_begin, EpochCore* const* group_end,
         // run is wall-clock-driven and makes no bit-identity
         // promises.
         if (cancel.load(std::memory_order_relaxed)) {
+            guard.armed = false;
             if (gate != nullptr) {
                 for (EpochCore* const* it = group_begin;
                      it != group_end; ++it) {
@@ -87,8 +120,12 @@ stepGroup(EpochCore* const* group_begin, EpochCore* const* group_end,
                  ec->core < pick->core))
                 pick = ec;
         }
-        if (pick == nullptr)
+        if (pick == nullptr) {
+            // Every slice done (and already parked at done-time):
+            // a normal exit must not raise the batch cancel flag.
+            guard.armed = false;
             return;
+        }
         Cycle bound = kNoCycle;
         for (EpochCore* const* it = group_begin; it != group_end;
              ++it) {
@@ -485,15 +522,19 @@ MultiCoreSimulation::run(const RunOptions& options)
     // serial reference; the parallel settings only change wall-clock
     // behaviour, never results. Extra workers are drawn from the
     // process-wide thread budget: auto (0) takes only what --jobs
-    // has left free, an explicit N is a hard request.
+    // has left free, an explicit N is a hard request. The auto
+    // claim must be one atomic reservation (not available() read
+    // back as a forced charge): two sweep cells deciding
+    // concurrently would both see the same free budget and
+    // oversubscribe the host the budget exists to protect.
     std::uint32_t workers = 1;
+    exec::ThreadReservation step_claim;
     if (cores > 1 && options.stepThreads != 1) {
         if (options.stepThreads == 0) {
+            step_claim = exec::ThreadReservation(cores - 1,
+                                                 /*force=*/false);
             workers = 1 + static_cast<std::uint32_t>(
-                              std::min<std::size_t>(
-                                  cores - 1,
-                                  exec::ThreadBudget::instance()
-                                      .available()));
+                              step_claim.granted());
         } else {
             workers = std::min(options.stepThreads, cores);
         }
@@ -501,10 +542,14 @@ MultiCoreSimulation::run(const RunOptions& options)
     // The pool persists across epochs (TaskPool's workers sleep on
     // a condition variable between batches), so the per-epoch cost
     // of parallel stepping is one wake/notify round, not a thread
-    // spawn. Its constructor charges the budget.
+    // spawn. It adopts the auto-mode reservation (charging only any
+    // shortfall, i.e. an explicit --step-threads N) for its
+    // lifetime.
     std::unique_ptr<exec::TaskPool> pool;
-    if (workers > 1)
-        pool = std::make_unique<exec::TaskPool>(workers);
+    if (workers > 1) {
+        pool = std::make_unique<exec::TaskPool>(
+            workers, std::move(step_claim));
+    }
 
     // The gate serializes cross-core shared-L2 accesses into
     // (cycle, coreId) order; it is only needed when groups step
